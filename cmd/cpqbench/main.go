@@ -1,0 +1,86 @@
+// Command cpqbench regenerates the tables and figures of the paper's
+// experimental study (Sections 4 and 5). Each figure of the paper maps to
+// one experiment; see DESIGN.md for the full index.
+//
+// Usage:
+//
+//	cpqbench                       # run every experiment at full scale
+//	cpqbench -experiment fig4      # one experiment
+//	cpqbench -quick                # 1/10 cardinalities (smoke run)
+//	cpqbench -scale 0.25           # custom scale
+//	cpqbench -list                 # list experiments
+//	cpqbench -out results.txt      # also write output to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment to run (default: all); see -list")
+		quick      = flag.Bool("quick", false, "scale cardinalities down to 1/10 for a fast smoke run")
+		scale      = flag.Float64("scale", 1.0, "cardinality scale factor (1.0 = the paper's sizes)")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		out        = flag.String("out", "", "also write the report to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	s := *scale
+	if *quick {
+		s = 0.1
+	}
+	lab := bench.NewLab(s)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(w, "cpqbench — Closest Pair Queries in Spatial Databases (SIGMOD 2000) reproduction\n")
+	fmt.Fprintf(w, "scale %.3g; page size 1KB, M=21, m=7; disk accesses = buffer misses (B/2 pages per tree)\n\n", s)
+
+	start := time.Now()
+	if *experiment == "" {
+		if err := bench.RunAll(lab, w); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, name := range strings.Split(*experiment, ",") {
+			e, ok := bench.ByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q; available: %s",
+					name, strings.Join(bench.Names(), ", ")))
+			}
+			fmt.Fprintf(w, "=== %s: %s ===\n\n", e.Name, e.Title)
+			if err := e.Run(lab, w); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Fprintf(w, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpqbench:", err)
+	os.Exit(1)
+}

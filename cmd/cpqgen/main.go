@@ -1,0 +1,61 @@
+// Command cpqgen generates the study's point data sets as CSV files:
+// uniform sets of any cardinality and the clustered "Sequoia-substitute"
+// set (see DESIGN.md for the substitution rationale).
+//
+// Usage:
+//
+//	cpqgen -kind uniform -n 60000 -seed 7 -out u60k.csv
+//	cpqgen -kind real -out real.csv
+//	cpqgen -kind clustered -n 10000 -overlap 0.5 -out c10k.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "uniform", "data kind: uniform, clustered, real")
+		n       = flag.Int("n", 10000, "number of points (ignored for -kind real)")
+		seed    = flag.Int64("seed", 1, "generator seed (ignored for -kind real)")
+		overlap = flag.Float64("overlap", 1.0, "workspace overlap with the unit workspace (1 = same workspace)")
+		out     = flag.String("out", "", "output CSV file (default stdout)")
+	)
+	flag.Parse()
+
+	var pts []geom.Point
+	switch *kind {
+	case "uniform":
+		pts = dataset.Uniform(*seed, *n)
+	case "clustered":
+		pts = dataset.Clustered(*seed, *n)
+	case "real":
+		pts = dataset.Real()
+	default:
+		fatal(fmt.Errorf("unknown kind %q (uniform, clustered, real)", *kind))
+	}
+	placed, err := dataset.PlaceWithOverlap(pts, *overlap)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		if err := dataset.WritePoints(os.Stdout, placed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := dataset.SavePoints(*out, placed); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d points to %s\n", len(placed), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpqgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,164 @@
+// Command cpqquery runs closest-pair queries over two CSV point files,
+// printing the result pairs and the cost statistics. It is the
+// command-line face of the library's public API.
+//
+// Usage:
+//
+//	cpqquery -p sites.csv -q resorts.csv -k 10
+//	cpqquery -p a.csv -q b.csv -k 100 -algorithm STD -buffer 128
+//	cpqquery -p a.csv -q b.csv -k 5 -incremental SML
+//	cpqquery -p a.csv -self -k 5
+//	cpqquery -p a.csv -q b.csv -semi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	cpq "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		pPath       = flag.String("p", "", "CSV file of the first point set (required)")
+		qPath       = flag.String("q", "", "CSV file of the second point set")
+		k           = flag.Int("k", 1, "number of closest pairs")
+		algorithm   = flag.String("algorithm", "HEAP", "NAIVE, EXH, SIM, STD or HEAP")
+		buffer      = flag.Int("buffer", 0, "total LRU buffer pages (split between the trees)")
+		incremental = flag.String("incremental", "", "use the incremental baseline instead: BAS, EVN or SML")
+		self        = flag.Bool("self", false, "self closest pairs within -p")
+		semi        = flag.Bool("semi", false, "semi-CPQ: nearest -q point for every -p point")
+		quiet       = flag.Bool("quiet", false, "print only statistics, not pairs")
+	)
+	flag.Parse()
+
+	if *pPath == "" {
+		fatal(fmt.Errorf("-p is required"))
+	}
+	p := buildIndex(*pPath, *buffer/2)
+	defer p.Close()
+
+	var q *cpq.Index
+	if *qPath != "" {
+		q = buildIndex(*qPath, *buffer/2)
+		defer q.Close()
+	}
+
+	start := time.Now()
+	var (
+		pairs []cpq.Pair
+		stats cpq.Stats
+		err   error
+	)
+	switch {
+	case *self:
+		pairs, stats, err = cpq.SelfKClosestPairs(p, *k, cpq.WithAlgorithm(parseAlgorithm(*algorithm)))
+	case *semi:
+		if q == nil {
+			fatal(fmt.Errorf("-semi needs -q"))
+		}
+		pairs, stats, err = cpq.SemiClosestPairs(p, q)
+	case *incremental != "":
+		if q == nil {
+			fatal(fmt.Errorf("-incremental needs -q"))
+		}
+		it, e := cpq.NewIncrementalJoin(p, q,
+			cpq.WithTraversal(parseTraversal(*incremental)), cpq.WithMaxPairs(*k))
+		if e != nil {
+			fatal(e)
+		}
+		for {
+			pair, ok, e := it.Next()
+			if e != nil {
+				fatal(e)
+			}
+			if !ok {
+				break
+			}
+			pairs = append(pairs, pair)
+		}
+		js := it.Stats()
+		fmt.Printf("# incremental %s: %d pairs, %d disk accesses, max queue %d, %s\n",
+			*incremental, len(pairs), js.Accesses(), js.MaxQueueSize,
+			time.Since(start).Round(time.Microsecond))
+		printPairs(pairs, *quiet)
+		return
+	default:
+		if q == nil {
+			fatal(fmt.Errorf("-q is required (or use -self)"))
+		}
+		pairs, stats, err = cpq.KClosestPairs(p, q, *k, cpq.WithAlgorithm(parseAlgorithm(*algorithm)))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# %s: %d pairs, %d disk accesses (P=%d Q=%d), %s\n",
+		strings.ToUpper(*algorithm), len(pairs), stats.Accesses(),
+		stats.IOP.Reads, stats.IOQ.Reads, time.Since(start).Round(time.Microsecond))
+	printPairs(pairs, *quiet)
+}
+
+func buildIndex(path string, bufferPages int) *cpq.Index {
+	pts, err := dataset.LoadPoints(path)
+	if err != nil {
+		fatal(err)
+	}
+	idx, err := cpq.BuildIndex(pts, cpq.WithBufferPages(bufferPages))
+	if err != nil {
+		fatal(err)
+	}
+	idx.DropCaches()
+	idx.ResetIOStats()
+	return idx
+}
+
+func parseAlgorithm(s string) cpq.Algorithm {
+	switch strings.ToUpper(s) {
+	case "NAIVE":
+		return cpq.NaiveAlgorithm
+	case "EXH":
+		return cpq.ExhaustiveAlgorithm
+	case "SIM":
+		return cpq.SimpleAlgorithm
+	case "STD":
+		return cpq.SortedDistancesAlgorithm
+	case "HEAP":
+		return cpq.HeapAlgorithm
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", s))
+		panic("unreachable")
+	}
+}
+
+func parseTraversal(s string) cpq.Traversal {
+	switch strings.ToUpper(s) {
+	case "BAS":
+		return cpq.BasicTraversal
+	case "EVN":
+		return cpq.EvenTraversal
+	case "SML":
+		return cpq.SimultaneousTraversal
+	default:
+		fatal(fmt.Errorf("unknown traversal %q", s))
+		panic("unreachable")
+	}
+}
+
+func printPairs(pairs []cpq.Pair, quiet bool) {
+	if quiet {
+		return
+	}
+	for i, p := range pairs {
+		fmt.Printf("%6d  (%.6f, %.6f) #%d  --  (%.6f, %.6f) #%d  dist %.9f\n",
+			i+1, p.P.X, p.P.Y, p.RefP, p.Q.X, p.Q.Y, p.RefQ, p.Dist)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpqquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Allnearest: the semi-CPQ variant (paper Section 6) on a realistic
+// matching problem — assign every ambulance station its nearest hospital,
+// and audit the worst-served stations. Also demonstrates on-disk indexes:
+// the hospital index is persisted and reopened.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	cpq "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(112))
+
+	// Hospitals: a few dozen, clustered near city centers.
+	centers := []cpq.Point{{X: 0.3, Y: 0.3}, {X: 0.75, Y: 0.6}, {X: 0.5, Y: 0.85}}
+	var hospitals []cpq.Point
+	for i := 0; i < 40; i++ {
+		c := centers[rng.Intn(len(centers))]
+		hospitals = append(hospitals, cpq.Point{
+			X: c.X + rng.NormFloat64()*0.08,
+			Y: c.Y + rng.NormFloat64()*0.08,
+		})
+	}
+	// Ambulance stations: spread across the whole region.
+	var stations []cpq.Point
+	for i := 0; i < 500; i++ {
+		stations = append(stations, cpq.Point{X: rng.Float64(), Y: rng.Float64()})
+	}
+
+	// Persist the hospital index to disk and reopen it, as a long-lived
+	// service would.
+	dir, err := os.MkdirTemp("", "cpq-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "hospitals.idx")
+
+	h, err := cpq.BuildIndex(hospitals, cpq.WithPath(path))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		log.Fatal(err)
+	}
+	h, err = cpq.OpenIndex(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+	fmt.Printf("reopened hospital index from %s: %d hospitals, height %d\n\n",
+		path, h.Len(), h.Height())
+
+	s, err := cpq.BuildIndex(stations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	// Semi-CPQ: every station gets its nearest hospital, results sorted by
+	// ascending distance — so the tail is the underserved stations.
+	assign, stats, err := cpq.SemiClosestPairs(s, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assigned %d stations to hospitals (%d disk accesses)\n",
+		len(assign), stats.Accesses())
+
+	fmt.Println("\nbest-served stations:")
+	for _, p := range assign[:3] {
+		fmt.Printf("  station (%.3f, %.3f) → hospital (%.3f, %.3f), dist %.4f\n",
+			p.P.X, p.P.Y, p.Q.X, p.Q.Y, p.Dist)
+	}
+	fmt.Println("worst-served stations (candidates for a new hospital):")
+	for _, p := range assign[len(assign)-3:] {
+		fmt.Printf("  station (%.3f, %.3f) → hospital (%.3f, %.3f), dist %.4f\n",
+			p.P.X, p.P.Y, p.Q.X, p.Q.Y, p.Dist)
+	}
+
+	// Load statistics: how many stations each of the top hospitals serves.
+	load := map[int64]int{}
+	for _, p := range assign {
+		load[p.RefQ]++
+	}
+	busiest, busiestLoad := int64(-1), 0
+	for ref, n := range load {
+		if n > busiestLoad {
+			busiest, busiestLoad = ref, n
+		}
+	}
+	fmt.Printf("\nbusiest hospital: #%d at (%.3f, %.3f) serving %d stations\n",
+		busiest, hospitals[busiest].X, hospitals[busiest].Y, busiestLoad)
+}

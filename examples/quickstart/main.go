@@ -1,0 +1,76 @@
+// Quickstart: index two small point sets and run the closest-pair queries
+// of the paper through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cpq "repro"
+)
+
+func main() {
+	// Two tiny data sets: warehouses and stores of a delivery network.
+	warehouses := []cpq.Point{
+		{X: 2, Y: 3}, {X: 8, Y: 1}, {X: 5, Y: 9}, {X: 1, Y: 7}, {X: 9, Y: 8},
+	}
+	stores := []cpq.Point{
+		{X: 3, Y: 4}, {X: 7, Y: 2}, {X: 4, Y: 8}, {X: 9, Y: 9}, {X: 0, Y: 0},
+		{X: 6, Y: 6}, {X: 2, Y: 9},
+	}
+
+	w, err := cpq.BuildIndex(warehouses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	s, err := cpq.BuildIndex(stores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	// 1-CPQ: the warehouse/store pair with the smallest distance.
+	pair, stats, err := cpq.ClosestPair(w, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("closest pair: warehouse %v — store %v, distance %.3f\n",
+		pair.P, pair.Q, pair.Dist)
+	fmt.Printf("cost: %d disk accesses\n\n", stats.Accesses())
+
+	// K-CPQ: the three closest pairs, using the Sorted Distances algorithm.
+	pairs, _, err := cpq.KClosestPairs(w, s, 3,
+		cpq.WithAlgorithm(cpq.SortedDistancesAlgorithm))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("three closest pairs:")
+	for i, p := range pairs {
+		fmt.Printf("  %d. warehouse %v — store %v, distance %.3f\n", i+1, p.P, p.Q, p.Dist)
+	}
+
+	// Incremental join: stream pairs in ascending distance order.
+	it, err := cpq.NewIncrementalJoin(w, s, cpq.WithMaxPairs(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nincremental join (first 5 pairs):")
+	for {
+		p, ok, err := it.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		fmt.Printf("  %v — %v  %.3f\n", p.P, p.Q, p.Dist)
+	}
+
+	// The index is a full spatial index: range and NN queries work too.
+	nn, err := s.Nearest(cpq.Point{X: 5, Y: 5}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntwo stores nearest to (5,5): %v and %v\n", nn[0].Point, nn[1].Point)
+}

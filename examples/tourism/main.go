@@ -1,0 +1,91 @@
+// Tourism: the paper's motivating scenario (Section 1). One data set holds
+// the locations of archeological sites, the other the most important
+// holiday resorts; a K-CPQ discovers the K site/resort pairs with the
+// smallest distances, so that tourists in a resort can easily visit the
+// site of each pair — the value of K depending on the advertising budget.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	cpq "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1821))
+
+	// Archeological sites: clustered around a handful of ancient regions.
+	regions := []cpq.Point{
+		{X: 22.5, Y: 37.6}, // Peloponnese
+		{X: 23.7, Y: 38.0}, // Attica
+		{X: 22.4, Y: 39.9}, // Thessaly
+		{X: 25.1, Y: 35.3}, // Crete
+		{X: 27.1, Y: 37.7}, // Dodecanese
+	}
+	var sites []cpq.Point
+	for i := 0; i < 4000; i++ {
+		r := regions[rng.Intn(len(regions))]
+		sites = append(sites, cpq.Point{
+			X: r.X + rng.NormFloat64()*0.35,
+			Y: r.Y + rng.NormFloat64()*0.25,
+		})
+	}
+
+	// Holiday resorts: mostly coastal, drawn from a different pattern.
+	var resorts []cpq.Point
+	for i := 0; i < 800; i++ {
+		t := rng.Float64()
+		resorts = append(resorts, cpq.Point{
+			X: 21.5 + t*6 + rng.NormFloat64()*0.4,
+			Y: 35.0 + 5*rng.Float64() + rng.NormFloat64()*0.2,
+		})
+	}
+
+	siteIdx, err := cpq.BuildIndex(sites)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer siteIdx.Close()
+	resortIdx, err := cpq.BuildIndex(resorts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resortIdx.Close()
+
+	// The advertising budget pays for ten brochures: K = 10.
+	const budgetK = 10
+	pairs, stats, err := cpq.KClosestPairs(siteIdx, resortIdx, budgetK,
+		cpq.WithAlgorithm(cpq.HeapAlgorithm))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top %d site/resort pairs (HEAP algorithm, %d disk accesses):\n",
+		budgetK, stats.Accesses())
+	for i, p := range pairs {
+		fmt.Printf("  %2d. site (%.3f, %.3f) ↔ resort (%.3f, %.3f): %.2f km apart\n",
+			i+1, p.P.X, p.P.Y, p.Q.X, p.Q.Y, p.Dist*111) // ~111 km per degree
+	}
+
+	// Which resort should a new site museum partner with? Semi-CPQ gives
+	// every site its nearest resort; here we just show the five best.
+	semi, _, err := cpq.SemiClosestPairs(siteIdx, resortIdx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfive sites with a resort at their doorstep (semi-CPQ):")
+	for i := 0; i < 5 && i < len(semi); i++ {
+		fmt.Printf("  site (%.3f, %.3f) → resort (%.3f, %.3f), %.2f km\n",
+			semi[i].P.X, semi[i].P.Y, semi[i].Q.X, semi[i].Q.Y, semi[i].Dist*111)
+	}
+
+	// The tourist board also wants to know the two most crowded spots of
+	// the resort map itself: a self-CPQ.
+	self, _, err := cpq.SelfKClosestPairs(resortIdx, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmost crowded resort pair: (%.3f, %.3f) and (%.3f, %.3f), %.2f km apart\n",
+		self[0].P.X, self[0].P.Y, self[0].Q.X, self[0].Q.Y, self[0].Dist*111)
+}

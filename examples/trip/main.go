@@ -1,0 +1,82 @@
+// Trip: multi-way closest tuples (the paper's future-work item (a)) on a
+// trip-planning scenario — pick a hotel, a restaurant and a museum that
+// minimize the total walking distance, either as a chain
+// (hotel → restaurant → museum) or a round trip (ring).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	cpq "repro"
+)
+
+func cluster(rng *rand.Rand, cx, cy, sigma float64, n int) []cpq.Point {
+	pts := make([]cpq.Point, n)
+	for i := range pts {
+		pts[i] = cpq.Point{
+			X: cx + rng.NormFloat64()*sigma,
+			Y: cy + rng.NormFloat64()*sigma,
+		}
+	}
+	return pts
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(77))
+
+	// Three amenity layers of a city, each with its own geography.
+	hotels := append(cluster(rng, 2, 2, 0.8, 300), cluster(rng, 6, 5, 0.5, 200)...)
+	restaurants := append(cluster(rng, 3, 3, 1.0, 500), cluster(rng, 5, 4, 0.7, 300)...)
+	museums := append(cluster(rng, 4, 4, 0.6, 80), cluster(rng, 2.5, 2.5, 0.4, 40)...)
+
+	var indexes []*cpq.Index
+	for _, layer := range [][]cpq.Point{hotels, restaurants, museums} {
+		idx, err := cpq.BuildIndex(layer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer idx.Close()
+		indexes = append(indexes, idx)
+	}
+
+	// Chain: hotel -> restaurant -> museum.
+	tuples, stats, err := cpq.KClosestTuples(indexes, 5,
+		cpq.WithTuplePattern(cpq.ChainPattern))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("five best hotel→restaurant→museum chains (%d disk accesses):\n",
+		stats.Accesses())
+	for i, tp := range tuples {
+		fmt.Printf("  %d. hotel (%.2f, %.2f) → restaurant (%.2f, %.2f) → museum (%.2f, %.2f): %.3f km\n",
+			i+1, tp.Points[0].X, tp.Points[0].Y,
+			tp.Points[1].X, tp.Points[1].Y,
+			tp.Points[2].X, tp.Points[2].Y, tp.Dist)
+	}
+
+	// Ring: walk back to the hotel afterwards.
+	rings, _, err := cpq.KClosestTuples(indexes, 3,
+		cpq.WithTuplePattern(cpq.RingPattern))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthree best round trips (back to the hotel):")
+	for i, tp := range rings {
+		fmt.Printf("  %d. total loop %.3f km via (%.2f, %.2f), (%.2f, %.2f), (%.2f, %.2f)\n",
+			i+1, tp.Dist,
+			tp.Points[0].X, tp.Points[0].Y,
+			tp.Points[1].X, tp.Points[1].Y,
+			tp.Points[2].X, tp.Points[2].Y)
+	}
+
+	// Manhattan walking distances change the winner.
+	l1, _, err := cpq.KClosestTuples(indexes, 1,
+		cpq.WithTuplePattern(cpq.ChainPattern),
+		cpq.WithTupleMetric(cpq.Manhattan()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest chain under Manhattan (street-grid) distance: %.3f km\n", l1[0].Dist)
+}

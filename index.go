@@ -1,0 +1,287 @@
+package cpq
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// Point is a point of the plane.
+type Point = geom.Point
+
+// Rect is an axis-aligned rectangle.
+type Rect = geom.Rect
+
+// Neighbor is a nearest-neighbor query result.
+type Neighbor struct {
+	// Point is the data point.
+	Point Point
+	// Ref is the record id supplied at insertion.
+	Ref int64
+	// Dist is the distance from the query point.
+	Dist float64
+}
+
+// IOStats exposes the storage counters of an index's buffer pool. Reads
+// are buffer misses — the paper's "disk accesses".
+type IOStats = storage.IOStats
+
+// Index is one spatial data set stored in a disk-based R*-tree behind an
+// LRU buffer pool. An Index is not safe for concurrent mutation.
+type Index struct {
+	tree *rtree.Tree
+	pool *storage.BufferPool
+	file storage.PageFile
+	disk *storage.DiskFile // nil for in-memory indexes
+}
+
+type indexConfig struct {
+	pageSize    int
+	maxEntries  int
+	minEntries  int
+	bufferPages int
+	path        string
+	bulkFill    float64
+}
+
+// IndexOption configures NewIndex / BuildIndex / OpenIndex.
+type IndexOption func(*indexConfig) error
+
+// WithPageSize sets the page size in bytes (default 1024, the paper's).
+func WithPageSize(bytes int) IndexOption {
+	return func(c *indexConfig) error {
+		if bytes <= 0 {
+			return fmt.Errorf("cpq: invalid page size %d", bytes)
+		}
+		c.pageSize = bytes
+		return nil
+	}
+}
+
+// WithNodeCapacity sets the R*-tree node capacity M and minimum occupancy
+// m (defaults 21 and 7, the paper's).
+func WithNodeCapacity(max, min int) IndexOption {
+	return func(c *indexConfig) error {
+		c.maxEntries, c.minEntries = max, min
+		return nil
+	}
+}
+
+// WithBufferPages sets the index's LRU buffer capacity in pages
+// (default 128). Zero disables caching so every page read is a disk
+// access, the paper's B=0 configuration.
+func WithBufferPages(pages int) IndexOption {
+	return func(c *indexConfig) error {
+		if pages < 0 {
+			return fmt.Errorf("cpq: negative buffer size %d", pages)
+		}
+		c.bufferPages = pages
+		return nil
+	}
+}
+
+// WithPath stores the index in a file on disk instead of in memory.
+func WithPath(path string) IndexOption {
+	return func(c *indexConfig) error {
+		if path == "" {
+			return errors.New("cpq: empty index path")
+		}
+		c.path = path
+		return nil
+	}
+}
+
+// WithBulkLoad makes BuildIndex pack the tree with the STR algorithm at
+// the given fill factor (0 < fill <= 1) instead of inserting one point at
+// a time. Packed trees are smaller and have less node overlap.
+func WithBulkLoad(fill float64) IndexOption {
+	return func(c *indexConfig) error {
+		if fill <= 0 || fill > 1 {
+			return fmt.Errorf("cpq: bulk fill %g out of (0, 1]", fill)
+		}
+		c.bulkFill = fill
+		return nil
+	}
+}
+
+func applyOptions(opts []IndexOption) (indexConfig, error) {
+	c := indexConfig{pageSize: 1024, bufferPages: 128}
+	for _, o := range opts {
+		if err := o(&c); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+func (c indexConfig) treeConfig() rtree.Config {
+	cfg := rtree.Config{
+		PageSize:   c.pageSize,
+		MaxEntries: c.maxEntries,
+		MinEntries: c.minEntries,
+	}
+	if c.pageSize == 1024 && c.maxEntries == 0 {
+		cfg = rtree.DefaultConfig()
+	}
+	return cfg
+}
+
+// NewIndex creates an empty index.
+func NewIndex(opts ...IndexOption) (*Index, error) {
+	c, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{}
+	if c.path != "" {
+		df, err := storage.CreateDiskFile(c.path, c.pageSize)
+		if err != nil {
+			return nil, err
+		}
+		idx.file, idx.disk = df, df
+	} else {
+		idx.file = storage.NewMemFile(c.pageSize)
+	}
+	idx.pool = storage.NewBufferPool(idx.file, c.bufferPages)
+	tree, err := rtree.New(idx.pool, c.treeConfig())
+	if err != nil {
+		idx.file.Close()
+		return nil, err
+	}
+	idx.tree = tree
+	return idx, nil
+}
+
+// BuildIndex creates an index over points, using record ids 0..len-1.
+// With WithBulkLoad the tree is STR-packed; otherwise points are inserted
+// one at a time through the R* insertion algorithm, as the paper built its
+// trees.
+func BuildIndex(points []Point, opts ...IndexOption) (*Index, error) {
+	c, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := NewIndex(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if c.bulkFill > 0 {
+		items := make([]rtree.Item, len(points))
+		for i, p := range points {
+			items[i] = rtree.Item{Rect: p.Rect(), Ref: int64(i)}
+		}
+		if err := idx.tree.BulkLoad(items, c.bulkFill); err != nil {
+			idx.Close()
+			return nil, err
+		}
+		return idx, nil
+	}
+	for i, p := range points {
+		if err := idx.tree.InsertPoint(p, int64(i)); err != nil {
+			idx.Close()
+			return nil, err
+		}
+	}
+	return idx, nil
+}
+
+// OpenIndex reopens an index previously created with WithPath and flushed
+// with Flush or Close.
+func OpenIndex(path string, opts ...IndexOption) (*Index, error) {
+	c, err := applyOptions(append([]IndexOption{WithPath(path)}, opts...))
+	if err != nil {
+		return nil, err
+	}
+	df, err := storage.OpenDiskFile(c.path, c.pageSize)
+	if err != nil {
+		return nil, err
+	}
+	pool := storage.NewBufferPool(df, c.bufferPages)
+	tree, err := rtree.Open(pool)
+	if err != nil {
+		df.Close()
+		return nil, err
+	}
+	return &Index{tree: tree, pool: pool, file: df, disk: df}, nil
+}
+
+// Insert adds a point with a caller-chosen record id.
+func (i *Index) Insert(p Point, ref int64) error {
+	return i.tree.InsertPoint(p, ref)
+}
+
+// Delete removes a previously inserted (point, ref) record.
+func (i *Index) Delete(p Point, ref int64) error {
+	return i.tree.DeletePoint(p, ref)
+}
+
+// Len returns the number of indexed points.
+func (i *Index) Len() int64 { return i.tree.Len() }
+
+// Height returns the R*-tree height (number of levels).
+func (i *Index) Height() int { return i.tree.Height() }
+
+// Bounds returns the MBR of the indexed points.
+func (i *Index) Bounds() (Rect, error) { return i.tree.Bounds() }
+
+// Search visits every point inside query; return false to stop early.
+func (i *Index) Search(query Rect, fn func(p Point, ref int64) bool) error {
+	return i.tree.Search(query, func(it rtree.Item) bool {
+		return fn(it.Rect.Min, it.Ref)
+	})
+}
+
+// Nearest returns the k indexed points closest to p in ascending distance
+// order.
+func (i *Index) Nearest(p Point, k int) ([]Neighbor, error) {
+	nn, err := i.tree.NearestNeighbors(p, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(nn))
+	for t, n := range nn {
+		out[t] = Neighbor{Point: n.Rect.Min, Ref: n.Ref, Dist: n.Dist}
+	}
+	return out, nil
+}
+
+// SetBufferPages resizes the index's LRU buffer. The paper's joins give
+// each tree half of the total buffer B.
+func (i *Index) SetBufferPages(pages int) { i.pool.Resize(pages) }
+
+// DropCaches empties the buffer pool, so following reads hit "disk".
+func (i *Index) DropCaches() { i.pool.Clear() }
+
+// ResetIOStats zeroes the access counters.
+func (i *Index) ResetIOStats() { i.pool.ResetStats() }
+
+// IOStats returns the index's storage counters since the last reset.
+func (i *Index) IOStats() IOStats { return i.pool.Stats() }
+
+// CheckInvariants validates the underlying tree structure (testing and
+// tooling aid).
+func (i *Index) CheckInvariants() error { return i.tree.CheckInvariants() }
+
+// Flush persists the tree header; for on-disk indexes it also syncs the
+// file.
+func (i *Index) Flush() error {
+	if err := i.tree.Flush(); err != nil {
+		return err
+	}
+	if i.disk != nil {
+		return i.disk.Sync()
+	}
+	return nil
+}
+
+// Close flushes and releases the index.
+func (i *Index) Close() error {
+	if err := i.Flush(); err != nil {
+		i.file.Close()
+		return err
+	}
+	return i.file.Close()
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/incremental"
+)
+
+// smallLab builds a heavily scaled-down lab for unit tests.
+func smallLab() *Lab {
+	return NewLab(0.02) // 62,536 -> ~1250 points
+}
+
+func TestLabBuildsAndCachesTrees(t *testing.T) {
+	l := smallLab()
+	spec := uniformSpec(20000, 20000)
+	a, err := l.Tree(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Tree(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Tree must cache by spec")
+	}
+	if a.Len() != int64(l.ScaledN(20000)) {
+		t.Fatalf("Len = %d, want %d", a.Len(), l.ScaledN(20000))
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairPlacesOverlap(t *testing.T) {
+	l := smallLab()
+	ta, tb, err := l.Pair(uniformSpec(20000, 1), uniformSpec(20000, 2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := ta.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := tb.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := ba.Intersect(bb)
+	if ov.IsEmpty() {
+		t.Fatal("50% overlap workspaces must intersect")
+	}
+	w := ov.Max.X - ov.Min.X
+	if w < 0.4 || w > 0.6 {
+		t.Errorf("overlap width = %g, want ~0.5", w)
+	}
+}
+
+func TestRunCoreCountsAccesses(t *testing.T) {
+	l := smallLab()
+	ta, tb, err := l.Pair(realSpec(), uniformControl(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := RunCore(ta, tb, 1, core.DefaultOptions(core.Heap), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0.Accesses() <= 0 {
+		t.Fatal("no accesses at B=0")
+	}
+	// A very large buffer can only reduce accesses.
+	s1, err := RunCore(ta, tb, 1, core.DefaultOptions(core.Heap), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Accesses() > s0.Accesses() {
+		t.Errorf("buffered run cost %d > unbuffered %d", s1.Accesses(), s0.Accesses())
+	}
+	// Runs are repeatable after prepare().
+	s2, err := RunCore(ta, tb, 1, core.DefaultOptions(core.Heap), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Accesses() != s0.Accesses() {
+		t.Errorf("repeat run cost %d != %d", s2.Accesses(), s0.Accesses())
+	}
+}
+
+func TestRunIncremental(t *testing.T) {
+	l := smallLab()
+	ta, tb, err := l.Pair(realSpec(), uniformControl(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunIncremental(ta, tb, 10, incremental.Options{Traversal: incremental.Simultaneous}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accesses() <= 0 || stats.Reported != 10 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(Experiments()) < 10 {
+		t.Fatalf("only %d experiments registered", len(Experiments()))
+	}
+	seen := map[string]bool{}
+	for _, e := range Experiments() {
+		if e.Name == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate experiment %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	if _, ok := ByName("fig4"); !ok {
+		t.Fatal("fig4 missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName must reject unknown names")
+	}
+	if len(Names()) != len(Experiments()) {
+		t.Fatal("Names/Experiments mismatch")
+	}
+}
+
+// TestEveryExperimentRunsAtTinyScale smoke-tests each figure end to end.
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	l := NewLab(0.01)
+	for _, e := range Experiments() {
+		var buf bytes.Buffer
+		if err := e.Run(l, &buf); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "Figure") && !strings.Contains(out, "Ablation") &&
+			!strings.Contains(out, "Footnote") && !strings.Contains(out, "Tree shapes") &&
+			!strings.Contains(out, "Cost model") && !strings.Contains(out, "Semi-CPQ") {
+			t.Fatalf("%s produced unexpected output:\n%s", e.Name, out)
+		}
+		if strings.Count(out, "\n") < 4 {
+			t.Fatalf("%s produced too little output:\n%s", e.Name, out)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := newTable("Demo", "a", "b")
+	tb.addRow("x", "1")
+	tb.addf("y", "%d", 2)
+	var buf bytes.Buffer
+	if err := tb.write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "a", "b", "x", "1", "y", "2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := pct(50, 100); got != "50.0%" {
+		t.Errorf("pct = %q", got)
+	}
+	if got := pct(5, 0); got != "n/a" {
+		t.Errorf("pct with zero baseline = %q", got)
+	}
+}

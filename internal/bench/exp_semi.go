@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// runSemi compares the two semi-CPQ implementations (paper future work,
+// Section 6): one best-first NN search per P point versus the batched
+// per-leaf traversal.
+func runSemi(l *Lab, w io.Writer) error {
+	t := newTable(
+		"Semi-CPQ: per-point NN vs batched leaf traversal, disk accesses (B=0)",
+		"workload", "per-point", "batched", "saving")
+	for _, cfg := range []struct {
+		label   string
+		left    DataSpec
+		right   DataSpec
+		overlap float64
+	}{
+		{"U20K/U20K 100%", uniformSpec(20000, 61), uniformSpec(20000, 62), 1.0},
+		{"U40K/U40K 100%", uniformSpec(40000, 63), uniformSpec(40000, 64), 1.0},
+		{"R/U62536 100%", realSpec(), uniformControl(), 1.0},
+	} {
+		ta, tb, err := l.Pair(cfg.left, cfg.right, cfg.overlap)
+		if err != nil {
+			return err
+		}
+		prepare(ta, tb, 0)
+		_, pp, err := core.SemiClosestPairs(ta, tb, core.DefaultOptions(core.Heap))
+		if err != nil {
+			return err
+		}
+		prepare(ta, tb, 0)
+		_, bt, err := core.SemiClosestPairsBatched(ta, tb, core.DefaultOptions(core.Heap))
+		if err != nil {
+			return err
+		}
+		t.addRow(cfg.label,
+			fmt.Sprintf("%d", pp.Accesses()),
+			fmt.Sprintf("%d", bt.Accesses()),
+			fmt.Sprintf("%.1fx", float64(pp.Accesses())/float64(bt.Accesses())))
+	}
+	return t.write(w)
+}

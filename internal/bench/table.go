@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// table accumulates one figure's rows and renders them aligned, in the
+// style of the paper's charts turned into text.
+type table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+func newTable(title string, header ...string) *table {
+	return &table{title: title, header: header}
+}
+
+func (t *table) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) addf(label string, format string, vals ...interface{}) {
+	cells := []string{label}
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf(format, v))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", t.title, strings.Repeat("-", len(t.title))); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	if len(t.header) > 0 {
+		if _, err := fmt.Fprintln(tw, strings.Join(t.header, "\t")+"\t"); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")+"\t"); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// pct formats a cost relative to a baseline as a percentage string.
+func pct(value, baseline int64) string {
+	if baseline == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(value)/float64(baseline))
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestAdviseDisjointWorkspaces(t *testing.T) {
+	ta := buildTree(t, uniformPoints(6000, 200, 0), 256)
+	tb := buildTree(t, uniformPoints(6100, 200, 3), 256)
+	for _, buffer := range []int{0, 128} {
+		a, err := Advise(ta, tb, buffer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Algorithm != SortedDistances {
+			t.Errorf("buffer %d: got %v, want STD for disjoint workspaces", buffer, a.Algorithm)
+		}
+		if a.Overlap > 0.05 {
+			t.Errorf("measured overlap %g for disjoint workspaces", a.Overlap)
+		}
+		if a.Reason == "" || a.Options.Algorithm != a.Algorithm {
+			t.Errorf("inconsistent advice: %+v", a)
+		}
+	}
+}
+
+func TestAdviseOverlappingWorkspaces(t *testing.T) {
+	ta := buildTree(t, uniformPoints(6200, 300, 0), 256)
+	tb := buildTree(t, uniformPoints(6300, 300, 0.2), 256)
+
+	zero, err := Advise(ta, tb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Algorithm != Heap {
+		t.Errorf("B=0: got %v, want HEAP", zero.Algorithm)
+	}
+	small, err := Advise(ta, tb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Algorithm != Heap {
+		t.Errorf("B=4: got %v, want HEAP", small.Algorithm)
+	}
+	big, err := Advise(ta, tb, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Algorithm != SortedDistances {
+		t.Errorf("B=64: got %v, want STD", big.Algorithm)
+	}
+	if !strings.Contains(big.Reason, "overlap") {
+		t.Errorf("reason should mention overlap: %q", big.Reason)
+	}
+}
+
+func TestAdvisedPlanIsValidAndCompetitive(t *testing.T) {
+	// The advised plan must run correctly and, on its target regime, be no
+	// worse than the exhaustive baseline.
+	ps := uniformPoints(6400, 1000, 0)
+	qs := uniformPoints(6500, 1000, 1) // adjacent (0% overlap)
+	ta := buildTree(t, ps, 1024)
+	tb := buildTree(t, qs, 1024)
+	a, err := Advise(ta, tb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, advStats, err := KClosestPairs(ta, tb, 5, a.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstBrute(t, got, ps, qs, 5)
+	_, exhStats, err := KClosestPairs(ta, tb, 5, DefaultOptions(Exhaustive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advStats.Accesses() > exhStats.Accesses() {
+		t.Errorf("advised plan cost %d > EXH cost %d", advStats.Accesses(), exhStats.Accesses())
+	}
+}
+
+func TestWorkspaceOverlap(t *testing.T) {
+	unit := geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 1, Y: 1}}
+	cases := []struct {
+		b    geom.Rect
+		want float64
+	}{
+		{geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 1, Y: 1}}, 1},
+		{geom.Rect{Min: geom.Point{X: 0.5, Y: 0}, Max: geom.Point{X: 1.5, Y: 1}}, 0.5},
+		{geom.Rect{Min: geom.Point{X: 2, Y: 0}, Max: geom.Point{X: 3, Y: 1}}, 0},
+		// Contained smaller workspace: fully overlapped.
+		{geom.Rect{Min: geom.Point{X: 0.25, Y: 0.25}, Max: geom.Point{X: 0.75, Y: 0.75}}, 1},
+	}
+	for _, c := range cases {
+		if got := workspaceOverlap(unit, c.b); got != c.want {
+			t.Errorf("workspaceOverlap(unit, %v) = %g, want %g", c.b, got, c.want)
+		}
+		if got := workspaceOverlap(c.b, unit); got != c.want {
+			t.Errorf("workspaceOverlap(%v, unit) = %g, want %g", c.b, got, c.want)
+		}
+	}
+	if workspaceOverlap(geom.EmptyRect(), unit) != 0 {
+		t.Error("empty workspace must overlap by 0")
+	}
+	// Degenerate point workspaces.
+	p := geom.Point{X: 0.5, Y: 0.5}.Rect()
+	if workspaceOverlap(p, unit) != 1 {
+		t.Error("contained point workspace must overlap by 1")
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rtree"
+)
+
+// ErrEmptyInput is returned when either input tree holds no points, so no
+// pair exists.
+var ErrEmptyInput = errors.New("core: closest pair query over an empty data set")
+
+// KClosestPairs finds the K closest pairs between the point sets stored in
+// the two trees (Section 2.1). Results are sorted by ascending distance.
+// When fewer than K pairs exist (K > |P|*|Q|) all pairs are returned. With
+// distance ties the result is one of the valid instances, as in the paper.
+//
+// The trees may use different page sizes, node capacities and heights; the
+// Options.Height strategy governs mismatched heights.
+func KClosestPairs(ta, tb *rtree.Tree, k int, opts Options) ([]Pair, Stats, error) {
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	j, err := newJoin(ta, tb, k, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if ta.Len() == 0 || tb.Len() == 0 {
+		return nil, Stats{}, ErrEmptyInput
+	}
+
+	startA := ta.Pool().Stats()
+	startB := tb.Pool().Stats()
+
+	root, err := j.rootPair()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if opts.Algorithm == Heap {
+		err = j.runHeap(root)
+	} else {
+		err = j.runRecursive(root)
+	}
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	if ta.Pool() == tb.Pool() {
+		// Shared pool (e.g. a self join): report the delta once.
+		j.stats.IOP = ta.Pool().Stats().Sub(startA)
+	} else {
+		j.stats.IOP = ta.Pool().Stats().Sub(startA)
+		j.stats.IOQ = tb.Pool().Stats().Sub(startB)
+	}
+	return j.results(), j.stats, nil
+}
+
+// ClosestPair finds the single closest pair (the 1-CPQ of Section 2.1),
+// using the K = 1 specializations (Inequality 2 pruning) automatically.
+func ClosestPair(ta, tb *rtree.Tree, opts Options) (Pair, Stats, error) {
+	pairs, stats, err := KClosestPairs(ta, tb, 1, opts)
+	if err != nil {
+		return Pair{}, stats, err
+	}
+	if len(pairs) == 0 {
+		return Pair{}, stats, ErrEmptyInput
+	}
+	return pairs[0], stats, nil
+}

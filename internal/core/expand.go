@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// join carries the state of one closest-pair query across the traversal.
+type join struct {
+	ta, tb *rtree.Tree
+	opts   Options
+	k      int
+	kheap  *kHeap
+	// bound is the auxiliary pruning bound B (squared): the MINMAXDIST
+	// bound of Inequality 2 for K = 1, or the MAXMAXDIST prefix bound for
+	// K > 1 under KPruneMaxMax. The effective pruning distance T is
+	// min(bound, K-heap threshold).
+	bound float64
+	stats Stats
+
+	rootAreaA, rootAreaB float64
+	useTie               bool
+	mA, mB               float64 // minimum node occupancies as floats
+	metric               geom.Metric
+}
+
+func newJoin(ta, tb *rtree.Tree, k int, opts Options) (*join, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	j := &join{
+		ta:     ta,
+		tb:     tb,
+		opts:   opts,
+		k:      k,
+		kheap:  newKHeap(k),
+		bound:  math.Inf(1),
+		mA:     float64(ta.Config().MinEntries),
+		mB:     float64(tb.Config().MinEntries),
+		metric: opts.Metric,
+	}
+	j.useTie = opts.Tie != TieNone &&
+		(opts.Algorithm == SortedDistances || opts.Algorithm == Heap)
+	ba, err := ta.Bounds()
+	if err != nil {
+		return nil, err
+	}
+	bb, err := tb.Bounds()
+	if err != nil {
+		return nil, err
+	}
+	j.rootAreaA, j.rootAreaB = ba.Area(), bb.Area()
+	return j, nil
+}
+
+// T returns the current pruning distance (squared): candidate node pairs
+// with MINMINDIST > T cannot contribute a result pair.
+func (j *join) T() float64 {
+	return math.Min(j.kheap.threshold(), j.bound)
+}
+
+// prunes reports whether the algorithm uses MINMINDIST pruning at all
+// (everything except Naive).
+func (j *join) prunes() bool { return j.opts.Algorithm != Naive }
+
+// tightens reports whether the algorithm updates T from node metrics
+// before descending (SIM, STD, HEAP).
+func (j *join) tightens() bool {
+	switch j.opts.Algorithm {
+	case Simple, SortedDistances, Heap:
+		return true
+	}
+	return false
+}
+
+// rootPair forms the initial node pair from the two roots.
+func (j *join) rootPair() (nodePair, error) {
+	ra, err := j.ta.Bounds()
+	if err != nil {
+		return nodePair{}, err
+	}
+	rb, err := j.tb.Bounds()
+	if err != nil {
+		return nodePair{}, err
+	}
+	return nodePair{
+		a: j.ta.RootID(), b: j.tb.RootID(),
+		ra: ra, rb: rb,
+		la: j.ta.Height() - 1, lb: j.tb.Height() - 1,
+		minminSq: j.metric.MinMinKey(ra, rb),
+	}, nil
+}
+
+// expansion sides.
+type expandMode int
+
+const (
+	expandBoth expandMode = iota
+	expandAOnly
+	expandBOnly
+)
+
+// modeFor decides which side(s) of a node pair to open, implementing the
+// fix-at-root and fix-at-leaves strategies of Section 3.7.
+func (j *join) modeFor(na, nb *rtree.Node) expandMode {
+	if na.Level == nb.Level {
+		return expandBoth
+	}
+	switch j.opts.Height {
+	case FixAtRoot:
+		// Descend only the taller side until the levels match.
+		if na.Level > nb.Level {
+			return expandAOnly
+		}
+		return expandBOnly
+	default: // FixAtLeaves
+		// Descend both sides while both are internal; once one side is a
+		// leaf, keep descending the other.
+		if na.IsLeaf() {
+			return expandBOnly
+		}
+		if nb.IsLeaf() {
+			return expandAOnly
+		}
+		return expandBoth
+	}
+}
+
+// expand generates the candidate sub-pairs of a node pair and, for the
+// algorithms that tighten T (SIM, STD, HEAP), updates the auxiliary bound
+// from the generated MBR pairs. MINMINDIST values are computed for every
+// pruning algorithm; tie keys only when a tie strategy is active.
+func (j *join) expand(p nodePair, na, nb *rtree.Node) []nodePair {
+	mode := j.modeFor(na, nb)
+	subs := j.expandRaw(p, na, nb)
+	j.stats.SubPairsGenerated += int64(len(subs))
+
+	if j.prunes() {
+		for i := range subs {
+			subs[i].minminSq = j.metric.MinMinKey(subs[i].ra, subs[i].rb)
+		}
+	}
+	if j.useTie {
+		for i := range subs {
+			subs[i].tieKey = tieKeyFor(j.opts.Tie, j.metric, subs[i].ra, subs[i].rb,
+				j.rootAreaA, j.rootAreaB)
+		}
+	}
+	if j.tightens() {
+		j.tightenBound(subs, mode, na, nb)
+	}
+	return subs
+}
+
+// tightenBound lowers the auxiliary pruning bound from the sub-pair MBR
+// metrics: via Inequality 2 (MINMAXDIST holds for at least one point pair)
+// when K = 1, or via the MAXMAXDIST prefix rule when K > 1 and the
+// technical-report pruning variant is selected.
+func (j *join) tightenBound(subs []nodePair, mode expandMode, na, nb *rtree.Node) {
+	if len(subs) == 0 {
+		return
+	}
+	if j.k == 1 {
+		for i := range subs {
+			var mm float64
+			if j.useTie && j.opts.Tie == Tie2 {
+				mm = subs[i].tieKey // Tie2's key is exactly the MINMAXDIST key
+			} else {
+				mm = j.metric.MinMaxKey(subs[i].ra, subs[i].rb)
+			}
+			if mm < j.bound {
+				j.bound = mm
+			}
+		}
+		return
+	}
+	if j.opts.KPrune != KPruneMaxMax {
+		return
+	}
+	// K > 1: every point pair under a sub-pair has distance at most its
+	// MAXMAXDIST (Inequality 1, right side). Sub-pairs cover disjoint
+	// point-pair sets, so the prefix of sub-pairs, sorted by ascending
+	// MAXMAXDIST, whose guaranteed pair count reaches K bounds the K-th
+	// closest distance by the prefix's largest MAXMAXDIST.
+	type mc struct {
+		maxmaxSq float64
+		count    float64
+	}
+	mcs := make([]mc, len(subs))
+	for i := range subs {
+		var cntA, cntB float64
+		switch mode {
+		case expandBoth:
+			cntA = j.guaranteedPoints(j.mA, subs[i].la)
+			cntB = j.guaranteedPoints(j.mB, subs[i].lb)
+		case expandAOnly:
+			cntA = j.guaranteedPoints(j.mA, subs[i].la)
+			cntB = nodeGuaranteedPoints(j.mB, nb)
+		case expandBOnly:
+			cntA = nodeGuaranteedPoints(j.mA, na)
+			cntB = j.guaranteedPoints(j.mB, subs[i].lb)
+		}
+		mcs[i] = mc{
+			maxmaxSq: j.metric.MaxMaxKey(subs[i].ra, subs[i].rb),
+			count:    cntA * cntB,
+		}
+	}
+	sort.Slice(mcs, func(x, y int) bool { return mcs[x].maxmaxSq < mcs[y].maxmaxSq })
+	var cum float64
+	for i := range mcs {
+		cum += mcs[i].count
+		if cum >= float64(j.k) {
+			if mcs[i].maxmaxSq < j.bound {
+				j.bound = mcs[i].maxmaxSq
+			}
+			return
+		}
+	}
+}
+
+// guaranteedPoints returns the minimum number of data points in a non-root
+// subtree whose root node sits at the given level: m^(level+1).
+func (j *join) guaranteedPoints(m float64, level int) float64 {
+	return math.Pow(m, float64(level+1))
+}
+
+// nodeGuaranteedPoints bounds the points under a node we have in hand
+// (which may be a root with fewer than m entries).
+func nodeGuaranteedPoints(m float64, n *rtree.Node) float64 {
+	if n.IsLeaf() {
+		return float64(len(n.Entries))
+	}
+	return float64(len(n.Entries)) * math.Pow(m, float64(n.Level))
+}
+
+// scanLeaves performs step CP3: evaluate every point pair between two
+// leaves against the K-heap.
+func (j *join) scanLeaves(na, nb *rtree.Node) {
+	for i := range na.Entries {
+		ea := &na.Entries[i]
+		for t := range nb.Entries {
+			eb := &nb.Entries[t]
+			j.stats.PointPairsCompared++
+			d := j.metric.MinMinKey(ea.Rect, eb.Rect)
+			j.kheap.offer(kPair{
+				distSq: d,
+				p:      [2]float64{ea.Rect.Min.X, ea.Rect.Min.Y},
+				q:      [2]float64{eb.Rect.Min.X, eb.Rect.Min.Y},
+				refP:   ea.Ref,
+				refQ:   eb.Ref,
+			})
+		}
+	}
+}
+
+// readPair fetches both nodes of a pair, counting the accesses the paper
+// measures.
+func (j *join) readPair(p nodePair) (na, nb *rtree.Node, err error) {
+	na, err = j.ta.ReadNode(p.a)
+	if err != nil {
+		return nil, nil, err
+	}
+	nb, err = j.tb.ReadNode(p.b)
+	if err != nil {
+		return nil, nil, err
+	}
+	j.stats.NodePairsProcessed++
+	return na, nb, nil
+}
+
+// results converts the K-heap contents into the public result slice.
+func (j *join) results() []Pair {
+	ks := j.kheap.sorted()
+	out := make([]Pair, len(ks))
+	for i, kp := range ks {
+		out[i] = Pair{
+			P:    geom.Point{X: kp.p[0], Y: kp.p[1]},
+			Q:    geom.Point{X: kp.q[0], Y: kp.q[1]},
+			RefP: kp.refP,
+			RefQ: kp.refQ,
+			Dist: j.metric.KeyToDist(kp.distSq),
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// buildFaultTree indexes pts on a FaultFile so read failures can be
+// injected mid-query.
+func buildFaultTree(t *testing.T, pts []geom.Point) (*rtree.Tree, *storage.FaultFile) {
+	t.Helper()
+	ff := storage.NewFaultFile(storage.NewMemFile(256))
+	pool := storage.NewBufferPool(ff, 0)
+	tr, err := rtree.New(pool, rtree.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := tr.InsertPoint(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, ff
+}
+
+// TestQueriesSurfaceInjectedReadErrors: every algorithm must propagate a
+// mid-traversal page read failure instead of panicking or returning
+// partial results silently.
+func TestQueriesSurfaceInjectedReadErrors(t *testing.T) {
+	ps := uniformPoints(7000, 500, 0)
+	qs := uniformPoints(7100, 500, 0.5)
+	ta, fa := buildFaultTree(t, ps)
+	tb, _ := buildFaultTree(t, qs)
+
+	for _, alg := range Algorithms() {
+		// Let a handful of reads through, then fail.
+		fa.FailReadAfter(3)
+		_, _, err := KClosestPairs(ta, tb, 10, DefaultOptions(alg))
+		if !errors.Is(err, storage.ErrInjected) {
+			t.Errorf("%v: err = %v, want ErrInjected", alg, err)
+		}
+		fa.FailReadAfter(-1)
+	}
+
+	// Self-CPQ.
+	fa.FailReadAfter(2)
+	if _, _, err := SelfKClosestPairs(ta, 5, DefaultOptions(Heap)); !errors.Is(err, storage.ErrInjected) {
+		t.Errorf("self: err = %v, want ErrInjected", err)
+	}
+	fa.FailReadAfter(-1)
+
+	// Semi-CPQ.
+	fa.FailReadAfter(2)
+	if _, _, err := SemiClosestPairs(ta, tb, DefaultOptions(Heap)); !errors.Is(err, storage.ErrInjected) {
+		t.Errorf("semi: err = %v, want ErrInjected", err)
+	}
+	fa.FailReadAfter(-1)
+
+	// Range join.
+	fa.FailReadAfter(2)
+	if _, err := WithinDistance(ta, tb, 0.5, DefaultOptions(Heap), func(Pair) bool { return true }); !errors.Is(err, storage.ErrInjected) {
+		t.Errorf("range: err = %v, want ErrInjected", err)
+	}
+	fa.FailReadAfter(-1)
+
+	// After disarming, the query works again (no corrupted state).
+	got, _, err := KClosestPairs(ta, tb, 5, DefaultOptions(Heap))
+	if err != nil {
+		t.Fatalf("recovery query failed: %v", err)
+	}
+	checkAgainstBrute(t, got, ps, qs, 5)
+}
+
+// TestInsertSurfacesInjectedWriteErrors: tree mutation must propagate
+// write failures.
+func TestInsertSurfacesInjectedWriteErrors(t *testing.T) {
+	ff := storage.NewFaultFile(storage.NewMemFile(256))
+	pool := storage.NewBufferPool(ff, 0)
+	tr, err := rtree.New(pool, rtree.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range uniformPoints(7200, 50, 0) {
+		if err := tr.InsertPoint(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ff.FailWriteAfter(0)
+	failed := false
+	for i, p := range uniformPoints(7300, 50, 0) {
+		if err := tr.InsertPoint(p, int64(100+i)); err != nil {
+			if !errors.Is(err, storage.ErrInjected) {
+				t.Fatalf("err = %v, want ErrInjected", err)
+			}
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("insertions kept succeeding with failing writes")
+	}
+}

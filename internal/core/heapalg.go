@@ -1,0 +1,88 @@
+package core
+
+// pairHeap is the main structure of the Heap algorithm (Section 3.5): a
+// binary min-heap of node pairs ordered by ascending MINMINDIST, with the
+// tie strategy's key as a secondary criterion. Unlike the priority queue
+// of Hjaltason & Samet it only ever holds node/node pairs, which keeps it
+// small enough to reside entirely in main memory.
+type pairHeap struct {
+	pairs []nodePair
+}
+
+func (h *pairHeap) Len() int { return len(h.pairs) }
+
+func (h *pairHeap) push(p nodePair) {
+	h.pairs = append(h.pairs, p)
+	i := len(h.pairs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.pairs[i].less(h.pairs[parent]) {
+			break
+		}
+		h.pairs[i], h.pairs[parent] = h.pairs[parent], h.pairs[i]
+		i = parent
+	}
+}
+
+func (h *pairHeap) pop() nodePair {
+	top := h.pairs[0]
+	last := len(h.pairs) - 1
+	h.pairs[0] = h.pairs[last]
+	h.pairs = h.pairs[:last]
+	n := len(h.pairs)
+	i := 0
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && h.pairs[l].less(h.pairs[smallest]) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && h.pairs[r].less(h.pairs[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.pairs[i], h.pairs[smallest] = h.pairs[smallest], h.pairs[i]
+		i = smallest
+	}
+	return top
+}
+
+// runHeap drives the iterative Heap algorithm from the given root pair:
+// pop the pair with the smallest MINMINDIST, stop as soon as it exceeds T
+// (everything still queued is at least as far), otherwise process it and
+// enqueue its surviving sub-pairs.
+func (j *join) runHeap(root nodePair) error {
+	h := &pairHeap{}
+	if root.minminSq <= j.T() {
+		h.push(root)
+	}
+	for h.Len() > 0 {
+		if h.Len() > j.stats.MaxQueueSize {
+			j.stats.MaxQueueSize = h.Len()
+		}
+		p := h.pop()
+		if p.minminSq > j.T() {
+			// CP5: the heap is ordered, so no queued pair can qualify.
+			break
+		}
+		na, nb, err := j.readPair(p)
+		if err != nil {
+			return err
+		}
+		if na.IsLeaf() && nb.IsLeaf() {
+			j.scanLeaves(na, nb)
+			continue
+		}
+		subs := j.expand(p, na, nb) // also tightens T
+		T := j.T()
+		for _, sp := range subs {
+			if sp.minminSq > T {
+				j.stats.SubPairsPruned++
+				continue
+			}
+			h.push(sp)
+		}
+	}
+	return nil
+}

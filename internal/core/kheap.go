@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// kHeap is the result structure of Section 3.8: a bounded max-heap of the
+// K closest point pairs found so far, ordered by squared distance with the
+// largest on top. While the heap is not yet full its threshold is +Inf;
+// afterwards it is the top pair's distance, and a new pair displaces the
+// top when strictly closer.
+type kHeap struct {
+	k     int
+	pairs []kPair // binary max-heap on distSq
+}
+
+type kPair struct {
+	distSq     float64
+	p, q       [2]float64
+	refP, refQ int64
+}
+
+func newKHeap(k int) *kHeap {
+	return &kHeap{k: k, pairs: make([]kPair, 0, min(k, 1024))}
+}
+
+// threshold returns the current pruning distance T contributed by the
+// result set: +Inf until K pairs are known, then the K-th smallest
+// distance found so far (squared).
+func (h *kHeap) threshold() float64 {
+	if len(h.pairs) < h.k {
+		return math.Inf(1)
+	}
+	return h.pairs[0].distSq
+}
+
+// full reports whether K pairs have been collected.
+func (h *kHeap) full() bool { return len(h.pairs) >= h.k }
+
+// offer inserts a candidate pair if it qualifies, returning true when the
+// result set changed.
+func (h *kHeap) offer(p kPair) bool {
+	if len(h.pairs) < h.k {
+		h.pairs = append(h.pairs, p)
+		h.siftUp(len(h.pairs) - 1)
+		return true
+	}
+	if p.distSq >= h.pairs[0].distSq {
+		return false
+	}
+	h.pairs[0] = p
+	h.siftDown(0)
+	return true
+}
+
+// sorted returns the collected pairs in ascending distance order (the
+// paper reports K-CP results ordered by distance).
+func (h *kHeap) sorted() []kPair {
+	out := append([]kPair(nil), h.pairs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].distSq != out[j].distSq {
+			return out[i].distSq < out[j].distSq
+		}
+		// Deterministic order among exact ties.
+		if out[i].refP != out[j].refP {
+			return out[i].refP < out[j].refP
+		}
+		return out[i].refQ < out[j].refQ
+	})
+	return out
+}
+
+func (h *kHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.pairs[parent].distSq >= h.pairs[i].distSq {
+			return
+		}
+		h.pairs[parent], h.pairs[i] = h.pairs[i], h.pairs[parent]
+		i = parent
+	}
+}
+
+func (h *kHeap) siftDown(i int) {
+	n := len(h.pairs)
+	for {
+		largest := i
+		if l := 2*i + 1; l < n && h.pairs[l].distSq > h.pairs[largest].distSq {
+			largest = l
+		}
+		if r := 2*i + 2; r < n && h.pairs[r].distSq > h.pairs[largest].distSq {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.pairs[i], h.pairs[largest] = h.pairs[largest], h.pairs[i]
+		i = largest
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// Pair is one result of a closest-pair query: a point from each data set,
+// their record ids, and their Euclidean distance.
+type Pair struct {
+	P, Q       geom.Point
+	RefP, RefQ int64
+	Dist       float64
+}
+
+// String implements fmt.Stringer.
+func (p Pair) String() string {
+	return fmt.Sprintf("(%v #%d, %v #%d) dist=%g", p.P, p.RefP, p.Q, p.RefQ, p.Dist)
+}
+
+// nodePair is a candidate pair of subtrees during traversal: one node (or
+// the root) from each tree, with the metrics driving pruning and ordering.
+// Node pairs may sit at different levels while the two trees have
+// different heights.
+type nodePair struct {
+	a, b     storage.PageID
+	ra, rb   geom.Rect
+	la, lb   int // levels (0 = leaf)
+	minminSq float64
+	tieKey   float64 // lower is "process first"; 0 when ties are disabled
+}
+
+// less orders node pairs for the STD sort and the HEAP priority queue:
+// ascending MINMINDIST, with exact ties broken by the tie strategy's key.
+func (p nodePair) less(q nodePair) bool {
+	if p.minminSq != q.minminSq {
+		return p.minminSq < q.minminSq
+	}
+	return p.tieKey < q.tieKey
+}
+
+// tieKeyFor computes the tie-break key of a candidate pair. Lower keys are
+// processed first, so "largest X wins" strategies negate X. rootAreaA and
+// rootAreaB normalize T1's areas as the paper prescribes (percent of the
+// relevant root's area).
+func tieKeyFor(strategy TieStrategy, m geom.Metric, ra, rb geom.Rect, rootAreaA, rootAreaB float64) float64 {
+	switch strategy {
+	case TieNone:
+		return 0
+	case Tie1:
+		relA, relB := 0.0, 0.0
+		if rootAreaA > 0 {
+			relA = ra.Area() / rootAreaA
+		}
+		if rootAreaB > 0 {
+			relB = rb.Area() / rootAreaB
+		}
+		return -math.Max(relA, relB)
+	case Tie2:
+		return m.MinMaxKey(ra, rb)
+	case Tie3:
+		return -(ra.Area() + rb.Area())
+	case Tie4:
+		return ra.Union(rb).Area() - ra.Area() - rb.Area()
+	case Tie5:
+		return -ra.OverlapArea(rb)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPairHeapPopsInOrder: the HEAP algorithm's queue must deliver node
+// pairs in ascending (MINMINDIST, tie key) order — the property CP5's
+// stopping condition relies on.
+func TestPairHeapPopsInOrder(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%200 + 1
+		h := &pairHeap{}
+		for i := 0; i < n; i++ {
+			h.push(nodePair{
+				minminSq: float64(rng.Intn(20)), // force ties
+				tieKey:   rng.Float64(),
+			})
+		}
+		prev := nodePair{minminSq: -1, tieKey: -1}
+		for h.Len() > 0 {
+			p := h.pop()
+			if p.minminSq < prev.minminSq {
+				return false
+			}
+			if p.minminSq == prev.minminSq && p.tieKey < prev.tieKey {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPairHeapInterleavedPushPop mixes pushes and pops, mirroring the
+// HEAP algorithm's actual usage.
+func TestPairHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	h := &pairHeap{}
+	popped := -1.0
+	for op := 0; op < 5000; op++ {
+		if h.Len() == 0 || rng.Intn(3) > 0 {
+			// Pushes may only add keys >= the last popped key, as in the
+			// real traversal (children bound below by their parent).
+			h.push(nodePair{minminSq: popped + rng.Float64()*10})
+		} else {
+			p := h.pop()
+			if p.minminSq < popped {
+				t.Fatalf("op %d: popped %g after %g", op, p.minminSq, popped)
+			}
+			popped = p.minminSq
+		}
+	}
+}
+
+// TestSTDSortOrderIsUsed is a behavioral check of STD: with Tie2 (smallest
+// MINMAXDIST first) and a distance tie between two subtrees, the tie key
+// changes which subtree is visited first — both must still return the
+// correct result.
+func TestSTDSortOrderIsUsed(t *testing.T) {
+	ps := uniformPoints(9000, 200, 0)
+	qs := uniformPoints(9100, 200, 0) // identical workspace: many 0 ties
+	ta := buildTree(t, ps, 256)
+	tb := buildTree(t, qs, 256)
+	var results []float64
+	for _, tie := range []TieStrategy{TieNone, Tie1, Tie2, Tie3, Tie4, Tie5} {
+		opts := DefaultOptions(SortedDistances)
+		opts.Tie = tie
+		got, _, err := KClosestPairs(ta, tb, 3, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", tie, err)
+		}
+		results = append(results, got[0].Dist)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("tie strategy changed the result: %v", results)
+		}
+	}
+}

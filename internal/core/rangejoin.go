@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rtree"
+)
+
+// WithinDistance answers the classic distance join that K-CPQ generalizes:
+// report every pair (p, q) ∈ P × Q with dist(p, q) <= eps. It reuses the
+// paper's machinery with a fixed pruning bound T = eps — subtree pairs
+// with MINMINDIST > eps cannot contribute — and streams results through
+// fn, which may return false to stop early. The traversal is iterative
+// (HEAP-style ordering is unnecessary since T never changes, so plain
+// stack order is used). Options contribute the metric and the height
+// strategy.
+func WithinDistance(ta, tb *rtree.Tree, eps float64, opts Options, fn func(Pair) bool) (Stats, error) {
+	if err := opts.validate(); err != nil {
+		return Stats{}, err
+	}
+	if eps < 0 {
+		return Stats{}, fmt.Errorf("core: negative distance bound %g", eps)
+	}
+	if ta.Len() == 0 || tb.Len() == 0 {
+		return Stats{}, nil
+	}
+	j, err := newJoin(ta, tb, 1, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	startA := ta.Pool().Stats()
+	startB := tb.Pool().Stats()
+	epsKey := j.metric.DistToKey(eps)
+
+	root, err := j.rootPair()
+	if err != nil {
+		return Stats{}, err
+	}
+	stack := []nodePair{root}
+	stopped := false
+	for len(stack) > 0 && !stopped {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p.minminSq > epsKey {
+			j.stats.SubPairsPruned++
+			continue
+		}
+		na, nb, err := j.readPair(p)
+		if err != nil {
+			return Stats{}, err
+		}
+		if na.IsLeaf() && nb.IsLeaf() {
+			for i := range na.Entries {
+				ea := &na.Entries[i]
+				for t := range nb.Entries {
+					eb := &nb.Entries[t]
+					j.stats.PointPairsCompared++
+					key := j.metric.MinMinKey(ea.Rect, eb.Rect)
+					if key > epsKey {
+						continue
+					}
+					ok := fn(Pair{
+						P:    ea.Rect.Min,
+						Q:    eb.Rect.Min,
+						RefP: ea.Ref,
+						RefQ: eb.Ref,
+						Dist: j.metric.KeyToDist(key),
+					})
+					if !ok {
+						stopped = true
+						break
+					}
+				}
+				if stopped {
+					break
+				}
+			}
+			continue
+		}
+		subs := j.expandForRange(p, na, nb, epsKey)
+		stack = append(stack, subs...)
+	}
+
+	if ta.Pool() == tb.Pool() {
+		j.stats.IOP = ta.Pool().Stats().Sub(startA)
+	} else {
+		j.stats.IOP = ta.Pool().Stats().Sub(startA)
+		j.stats.IOQ = tb.Pool().Stats().Sub(startB)
+	}
+	return j.stats, nil
+}
+
+// expandForRange generates sub-pairs pruned against the fixed bound.
+func (j *join) expandForRange(p nodePair, na, nb *rtree.Node, epsKey float64) []nodePair {
+	subs := j.expandRaw(p, na, nb)
+	j.stats.SubPairsGenerated += int64(len(subs))
+	kept := subs[:0]
+	for _, sp := range subs {
+		sp.minminSq = j.metric.MinMinKey(sp.ra, sp.rb)
+		if sp.minminSq > epsKey {
+			j.stats.SubPairsPruned++
+			continue
+		}
+		kept = append(kept, sp)
+	}
+	return kept
+}
+
+// expandRaw generates the candidate sub-pairs of a node pair without
+// computing metrics (shared by the range join).
+func (j *join) expandRaw(p nodePair, na, nb *rtree.Node) []nodePair {
+	mode := j.modeFor(na, nb)
+	var subs []nodePair
+	switch mode {
+	case expandBoth:
+		subs = make([]nodePair, 0, len(na.Entries)*len(nb.Entries))
+		for i := range na.Entries {
+			for t := range nb.Entries {
+				subs = append(subs, nodePair{
+					a: na.Entries[i].Child(), b: nb.Entries[t].Child(),
+					ra: na.Entries[i].Rect, rb: nb.Entries[t].Rect,
+					la: na.Level - 1, lb: nb.Level - 1,
+				})
+			}
+		}
+	case expandAOnly:
+		subs = make([]nodePair, 0, len(na.Entries))
+		for i := range na.Entries {
+			subs = append(subs, nodePair{
+				a: na.Entries[i].Child(), b: p.b,
+				ra: na.Entries[i].Rect, rb: p.rb,
+				la: na.Level - 1, lb: p.lb,
+			})
+		}
+	case expandBOnly:
+		subs = make([]nodePair, 0, len(nb.Entries))
+		for t := range nb.Entries {
+			subs = append(subs, nodePair{
+				a: p.a, b: nb.Entries[t].Child(),
+				ra: p.ra, rb: nb.Entries[t].Rect,
+				la: p.la, lb: nb.Level - 1,
+			})
+		}
+	}
+	return subs
+}

@@ -1,0 +1,47 @@
+package core
+
+import "repro/internal/sortx"
+
+// runRecursive drives the four recursive algorithms (Naive, EXH, SIM, STD)
+// from the given node pair.
+func (j *join) runRecursive(p nodePair) error {
+	if j.prunes() && p.minminSq > j.T() {
+		j.stats.SubPairsPruned++
+		return nil
+	}
+	na, nb, err := j.readPair(p)
+	if err != nil {
+		return err
+	}
+	if na.IsLeaf() && nb.IsLeaf() {
+		j.scanLeaves(na, nb)
+		return nil
+	}
+	subs := j.expand(p, na, nb) // also tightens T for SIM and STD
+	if j.prunes() {
+		// Drop pairs that cannot contain a result (CP2: keep MINMINDIST <= T).
+		kept := subs[:0]
+		T := j.T()
+		for _, sp := range subs {
+			if sp.minminSq > T {
+				j.stats.SubPairsPruned++
+				continue
+			}
+			kept = append(kept, sp)
+		}
+		subs = kept
+	}
+	if j.opts.Algorithm == SortedDistances {
+		// CP2 of STD: process candidates in ascending MINMINDIST order
+		// (tie strategy applied on equal distances), which shrinks T
+		// faster and prunes more of the remaining pairs.
+		sortx.Sort(subs, func(a, b nodePair) bool { return a.less(b) }, j.opts.Sort)
+	}
+	for _, sp := range subs {
+		// T keeps shrinking while the loop runs; runRecursive re-checks.
+		if err := j.runRecursive(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

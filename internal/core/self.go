@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// SelfKClosestPairs answers the self-CPQ of the paper's future-work
+// section (Section 6): both data sets are the same entity (P ≡ Q), and the
+// result is the K closest unordered pairs of distinct points of one tree.
+//
+// The traversal is the iterative Heap algorithm over unordered node pairs:
+// a pair (N, N) expands to child pairs (c_i, c_j) with i <= j, and a pair
+// of distinct nodes to all child combinations, so every unordered point
+// pair is considered exactly once. A self join is by definition fully
+// overlapping, the regime where the paper found HEAP strongest.
+func SelfKClosestPairs(t *rtree.Tree, k int, opts Options) ([]Pair, Stats, error) {
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if t.Len() < 2 {
+		return nil, Stats{}, errors.New("core: self closest pair query needs at least two points")
+	}
+	start := t.Pool().Stats()
+	s := &selfJoin{
+		t:      t,
+		k:      k,
+		kheap:  newKHeap(k),
+		bound:  math.Inf(1),
+		opts:   opts,
+		m:      float64(t.Config().MinEntries),
+		metric: opts.Metric,
+	}
+	rootRect, err := t.Bounds()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	s.rootArea = rootRect.Area()
+	if err := s.run(rootRect); err != nil {
+		return nil, Stats{}, err
+	}
+	s.stats.IOP = t.Pool().Stats().Sub(start)
+	return s.results(), s.stats, nil
+}
+
+// SelfClosestPair returns the single closest pair of distinct points
+// within one tree.
+func SelfClosestPair(t *rtree.Tree, opts Options) (Pair, Stats, error) {
+	pairs, stats, err := SelfKClosestPairs(t, 1, opts)
+	if err != nil {
+		return Pair{}, stats, err
+	}
+	return pairs[0], stats, nil
+}
+
+type selfJoin struct {
+	t        *rtree.Tree
+	k        int
+	kheap    *kHeap
+	bound    float64
+	opts     Options
+	stats    Stats
+	rootArea float64
+	m        float64
+	metric   geom.Metric
+}
+
+func (s *selfJoin) T() float64 { return math.Min(s.kheap.threshold(), s.bound) }
+
+func (s *selfJoin) run(rootRect geom.Rect) error {
+	h := &pairHeap{}
+	h.push(nodePair{
+		a: s.t.RootID(), b: s.t.RootID(),
+		ra: rootRect, rb: rootRect,
+		la: s.t.Height() - 1, lb: s.t.Height() - 1,
+	})
+	for h.Len() > 0 {
+		if h.Len() > s.stats.MaxQueueSize {
+			s.stats.MaxQueueSize = h.Len()
+		}
+		p := h.pop()
+		if p.minminSq > s.T() {
+			break
+		}
+		if err := s.process(p, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *selfJoin) process(p nodePair, h *pairHeap) error {
+	na, err := s.t.ReadNode(p.a)
+	if err != nil {
+		return err
+	}
+	var nb *rtree.Node
+	if p.b == p.a {
+		nb = na
+	} else {
+		nb, err = s.t.ReadNode(p.b)
+		if err != nil {
+			return err
+		}
+	}
+	s.stats.NodePairsProcessed++
+
+	if na.IsLeaf() {
+		s.scan(na, nb)
+		return nil
+	}
+
+	// Generate unordered sub-pairs.
+	var subs []nodePair
+	if p.a == p.b {
+		for i := range na.Entries {
+			for t := i; t < len(na.Entries); t++ {
+				subs = append(subs, s.subPair(na.Entries[i], na.Entries[t], na.Level-1))
+			}
+		}
+	} else {
+		for i := range na.Entries {
+			for t := range nb.Entries {
+				subs = append(subs, s.subPair(na.Entries[i], nb.Entries[t], na.Level-1))
+			}
+		}
+	}
+	s.stats.SubPairsGenerated += int64(len(subs))
+	s.tighten(subs)
+	T := s.T()
+	for _, sp := range subs {
+		if sp.minminSq > T {
+			s.stats.SubPairsPruned++
+			continue
+		}
+		h.push(sp)
+	}
+	return nil
+}
+
+func (s *selfJoin) subPair(ea, eb rtree.Entry, level int) nodePair {
+	sp := nodePair{
+		a: ea.Child(), b: eb.Child(),
+		ra: ea.Rect, rb: eb.Rect,
+		la: level, lb: level,
+		minminSq: s.metric.MinMinKey(ea.Rect, eb.Rect),
+	}
+	if s.opts.Tie != TieNone {
+		sp.tieKey = tieKeyFor(s.opts.Tie, s.metric, sp.ra, sp.rb, s.rootArea, s.rootArea)
+	}
+	return sp
+}
+
+// tighten lowers the pruning bound. For K = 1 only pairs of distinct nodes
+// may apply Inequality 2 (for an identical pair the guaranteed point pair
+// could be a single point against itself). For K > 1 the MAXMAXDIST prefix
+// rule counts unordered pairs: n*(n-1)/2 within an identical pair.
+func (s *selfJoin) tighten(subs []nodePair) {
+	if s.k == 1 {
+		for i := range subs {
+			if subs[i].a == subs[i].b {
+				continue
+			}
+			if mm := s.metric.MinMaxKey(subs[i].ra, subs[i].rb); mm < s.bound {
+				s.bound = mm
+			}
+		}
+		return
+	}
+	if s.opts.KPrune != KPruneMaxMax {
+		return
+	}
+	type mc struct {
+		maxmaxSq float64
+		count    float64
+	}
+	mcs := make([]mc, 0, len(subs))
+	for i := range subs {
+		pts := math.Pow(s.m, float64(subs[i].la+1))
+		var count float64
+		if subs[i].a == subs[i].b {
+			count = pts * (pts - 1) / 2
+		} else {
+			count = pts * pts
+		}
+		mcs = append(mcs, mc{maxmaxSq: s.metric.MaxMaxKey(subs[i].ra, subs[i].rb), count: count})
+	}
+	sort.Slice(mcs, func(x, y int) bool { return mcs[x].maxmaxSq < mcs[y].maxmaxSq })
+	var cum float64
+	for i := range mcs {
+		cum += mcs[i].count
+		if cum >= float64(s.k) {
+			if mcs[i].maxmaxSq < s.bound {
+				s.bound = mcs[i].maxmaxSq
+			}
+			return
+		}
+	}
+}
+
+// scan evaluates the point pairs of a leaf pair: the upper triangle for an
+// identical pair, the full cross product for distinct leaves.
+func (s *selfJoin) scan(na, nb *rtree.Node) {
+	if na.ID == nb.ID {
+		for i := range na.Entries {
+			for t := i + 1; t < len(na.Entries); t++ {
+				s.offer(&na.Entries[i], &na.Entries[t])
+			}
+		}
+		return
+	}
+	for i := range na.Entries {
+		for t := range nb.Entries {
+			s.offer(&na.Entries[i], &nb.Entries[t])
+		}
+	}
+}
+
+func (s *selfJoin) offer(ea, eb *rtree.Entry) {
+	s.stats.PointPairsCompared++
+	// Normalize pair order by ref so results are deterministic.
+	if ea.Ref > eb.Ref {
+		ea, eb = eb, ea
+	}
+	s.kheap.offer(kPair{
+		distSq: s.metric.MinMinKey(ea.Rect, eb.Rect),
+		p:      [2]float64{ea.Rect.Min.X, ea.Rect.Min.Y},
+		q:      [2]float64{eb.Rect.Min.X, eb.Rect.Min.Y},
+		refP:   ea.Ref,
+		refQ:   eb.Ref,
+	})
+}
+
+func (s *selfJoin) results() []Pair {
+	ks := s.kheap.sorted()
+	out := make([]Pair, len(ks))
+	for i, kp := range ks {
+		out[i] = Pair{
+			P:    geom.Point{X: kp.p[0], Y: kp.p[1]},
+			Q:    geom.Point{X: kp.q[0], Y: kp.q[1]},
+			RefP: kp.refP,
+			RefQ: kp.refQ,
+			Dist: s.metric.KeyToDist(kp.distSq),
+		}
+	}
+	return out
+}

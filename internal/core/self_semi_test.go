@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestSelfKCPMatchesBruteForce(t *testing.T) {
+	ps := uniformPoints(2100, 600, 0)
+	tr := buildTree(t, ps, 256)
+	for _, k := range []int{1, 2, 10, 100} {
+		got, stats, err := SelfKClosestPairs(tr, k, DefaultOptions(Heap))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want := BruteForceSelfKCP(ps, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d pairs, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("k=%d pair %d: dist %.12g, want %.12g",
+					k, i, got[i].Dist, want[i].Dist)
+			}
+			if got[i].RefP == got[i].RefQ {
+				t.Fatalf("k=%d pair %d: self pair %+v", k, i, got[i])
+			}
+		}
+		if stats.Accesses() <= 0 {
+			t.Errorf("k=%d: no accesses recorded", k)
+		}
+	}
+}
+
+func TestSelfKCPNoDuplicateUnorderedPairs(t *testing.T) {
+	ps := uniformPoints(2200, 300, 0)
+	tr := buildTree(t, ps, 256)
+	got, _, err := SelfKClosestPairs(tr, 80, DefaultOptions(Heap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int64]bool{}
+	for _, p := range got {
+		key := [2]int64{p.RefP, p.RefQ}
+		if p.RefP > p.RefQ {
+			key = [2]int64{p.RefQ, p.RefP}
+		}
+		if seen[key] {
+			t.Fatalf("unordered pair %v reported twice", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSelfKCPKPruningVariants(t *testing.T) {
+	ps := uniformPoints(2250, 500, 0)
+	tr := buildTree(t, ps, 256)
+	for _, kp := range []KPruning{KPruneMaxMax, KPruneHeapTop} {
+		opts := DefaultOptions(Heap)
+		opts.KPrune = kp
+		got, _, err := SelfKClosestPairs(tr, 40, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", kp, err)
+		}
+		want := BruteForceSelfKCP(ps, 40)
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("%v pair %d: dist %.12g, want %.12g", kp, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestSelfCPErrors(t *testing.T) {
+	single := buildTree(t, []geom.Point{{X: 1, Y: 1}}, 256)
+	if _, _, err := SelfClosestPair(single, DefaultOptions(Heap)); err == nil {
+		t.Error("self-CP on a single point must fail")
+	}
+	tr := buildTree(t, uniformPoints(2300, 10, 0), 256)
+	if _, _, err := SelfKClosestPairs(tr, 0, DefaultOptions(Heap)); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+}
+
+func TestSelfCPWithDuplicatePoints(t *testing.T) {
+	// Two coincident (distinct-ref) points: the closest pair has distance 0.
+	ps := append(uniformPoints(2400, 50, 0), geom.Point{X: 0.3, Y: 0.3}, geom.Point{X: 0.3, Y: 0.3})
+	tr := buildTree(t, ps, 256)
+	pair, _, err := SelfClosestPair(tr, DefaultOptions(Heap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Dist != 0 {
+		t.Fatalf("dist = %g, want 0", pair.Dist)
+	}
+	if pair.RefP == pair.RefQ {
+		t.Fatalf("self pair returned: %+v", pair)
+	}
+}
+
+func TestSemiCPMatchesBruteForce(t *testing.T) {
+	ps := uniformPoints(2500, 200, 0)
+	qs := uniformPoints(2600, 300, 0.4)
+	ta := buildTree(t, ps, 256)
+	tb := buildTree(t, qs, 256)
+	got, stats, err := SemiClosestPairs(ta, tb, DefaultOptions(Heap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BruteForceSemiCP(ps, qs)
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	// Each P point appears exactly once, with its true nearest distance.
+	seen := map[int64]bool{}
+	for i := range got {
+		if seen[got[i].RefP] {
+			t.Fatalf("P ref %d appears twice", got[i].RefP)
+		}
+		seen[got[i].RefP] = true
+		if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("pair %d: dist %.12g, want %.12g", i, got[i].Dist, want[i].Dist)
+		}
+	}
+	if stats.Accesses() <= 0 {
+		t.Error("no accesses recorded")
+	}
+}
+
+func TestSemiCPAsymmetry(t *testing.T) {
+	// Semi-CPQ is directional: |result| = |P| regardless of |Q|.
+	ps := uniformPoints(2700, 50, 0)
+	qs := uniformPoints(2800, 500, 0)
+	ta := buildTree(t, ps, 256)
+	tb := buildTree(t, qs, 256)
+	ab, _, err := SemiClosestPairs(ta, tb, DefaultOptions(Heap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, _, err := SemiClosestPairs(tb, ta, DefaultOptions(Heap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab) != 50 || len(ba) != 500 {
+		t.Fatalf("sizes = %d, %d; want 50, 500", len(ab), len(ba))
+	}
+}
+
+func TestSemiCPEmpty(t *testing.T) {
+	empty := buildTree(t, nil, 256)
+	tr := buildTree(t, uniformPoints(2900, 10, 0), 256)
+	if _, _, err := SemiClosestPairs(empty, tr, DefaultOptions(Heap)); err == nil {
+		t.Error("empty P must fail")
+	}
+	if _, _, err := SemiClosestPairs(tr, empty, DefaultOptions(Heap)); err == nil {
+		t.Error("empty Q must fail")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rtree"
+)
+
+// SemiClosestPairs answers the semi-CPQ of the paper's future-work section
+// (Section 6): for each point of the first data set, its nearest point in
+// the second, so every P point appears exactly once in the result. Pairs
+// are returned in ascending distance order (with ties broken by RefP for
+// determinism).
+//
+// The implementation iterates the P-tree's leaves and runs a best-first
+// nearest-neighbor search on the Q-tree per point; disk accesses on both
+// trees are reported in the stats as usual.
+func SemiClosestPairs(ta, tb *rtree.Tree, opts Options) ([]Pair, Stats, error) {
+	if err := opts.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if ta.Len() == 0 || tb.Len() == 0 {
+		return nil, Stats{}, ErrEmptyInput
+	}
+	startA := ta.Pool().Stats()
+	startB := tb.Pool().Stats()
+
+	var stats Stats
+	out := make([]Pair, 0, ta.Len())
+	var innerErr error
+	err := ta.All(func(it rtree.Item) bool {
+		p := it.Rect.Center()
+		nns, err := tb.NearestNeighborsMetric(p, 1, opts.Metric)
+		if err == nil && len(nns) == 0 {
+			err = rtree.ErrNotFound
+		}
+		if err != nil {
+			innerErr = fmt.Errorf("core: semi-CPQ nearest neighbor for %v: %w", p, err)
+			return false
+		}
+		nn := nns[0]
+		stats.PointPairsCompared++
+		out = append(out, Pair{
+			P:    p,
+			Q:    nn.Rect.Center(),
+			RefP: it.Ref,
+			RefQ: nn.Ref,
+			Dist: nn.Dist,
+		})
+		return true
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if innerErr != nil {
+		return nil, Stats{}, innerErr
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].RefP < out[j].RefP
+	})
+	if ta.Pool() == tb.Pool() {
+		stats.IOP = ta.Pool().Stats().Sub(startA)
+	} else {
+		stats.IOP = ta.Pool().Stats().Sub(startA)
+		stats.IOQ = tb.Pool().Stats().Sub(startB)
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Stats reports the cost of one closest-pair query. Disk accesses (buffer
+// misses) are the paper's cost metric; the remaining counters expose the
+// algorithms' internal work for analysis and tests.
+type Stats struct {
+	// IOP and IOQ are the storage counter deltas of the two trees' buffer
+	// pools over the query (the P-tree and Q-tree of the join).
+	IOP, IOQ storage.IOStats
+	// NodePairsProcessed counts node pairs expanded (recursive calls or
+	// heap pops that read two nodes).
+	NodePairsProcessed int64
+	// SubPairsGenerated counts candidate sub-pairs produced during
+	// expansion, before pruning.
+	SubPairsGenerated int64
+	// SubPairsPruned counts candidate sub-pairs discarded by the
+	// MINMINDIST > T test.
+	SubPairsPruned int64
+	// PointPairsCompared counts point-to-point distance evaluations at
+	// the leaf level.
+	PointPairsCompared int64
+	// MaxQueueSize is the high-water mark of the HEAP algorithm's pair
+	// heap (0 for the recursive algorithms).
+	MaxQueueSize int
+}
+
+// Accesses returns the total disk accesses of both trees — the quantity on
+// the y-axis of every figure in the paper.
+func (s Stats) Accesses() int64 {
+	return s.IOP.Reads + s.IOQ.Reads
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"accesses=%d (P=%d Q=%d) nodePairs=%d subPairs=%d pruned=%d pointPairs=%d maxQueue=%d",
+		s.Accesses(), s.IOP.Reads, s.IOQ.Reads, s.NodePairsProcessed,
+		s.SubPairsGenerated, s.SubPairsPruned, s.PointPairsCompared, s.MaxQueueSize)
+}

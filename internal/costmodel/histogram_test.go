@@ -1,0 +1,170 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+func TestNewHistogramBasics(t *testing.T) {
+	pts := dataset.Uniform(1, 4000)
+	h, err := NewHistogram(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != 4000 {
+		t.Fatalf("Total = %g", h.Total)
+	}
+	var sum float64
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 4000 {
+		t.Fatalf("cell sum = %g", sum)
+	}
+	// Roughly uniform: no cell should be wildly off the mean.
+	mean := 4000.0 / 64
+	for i, c := range h.Counts {
+		if c < mean/3 || c > mean*3 {
+			t.Errorf("cell %d count %g far from mean %g", i, c, mean)
+		}
+	}
+	if _, err := NewHistogram(nil, 8); err == nil {
+		t.Error("empty points must fail")
+	}
+	if _, err := NewHistogram(pts, 0); err == nil {
+		t.Error("zero grid must fail")
+	}
+}
+
+func TestHistogramSkewDetection(t *testing.T) {
+	h, err := NewHistogram(dataset.Clustered(2, 10000), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0.0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	if mean := h.Total / float64(len(h.Counts)); max < 4*mean {
+		t.Errorf("clustered data: max cell %g not clearly above mean %g", max, mean)
+	}
+}
+
+func TestMassIn(t *testing.T) {
+	pts := dataset.Uniform(3, 10000)
+	h, err := NewHistogram(pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole bounds contain all mass.
+	if got := h.massIn(h.Bounds); math.Abs(got-h.Total) > 1 {
+		t.Errorf("massIn(bounds) = %g, want %g", got, h.Total)
+	}
+	// Half the workspace holds about half the mass.
+	half := geom.Rect{Min: h.Bounds.Min, Max: geom.Point{
+		X: (h.Bounds.Min.X + h.Bounds.Max.X) / 2, Y: h.Bounds.Max.Y}}
+	got := h.massIn(half)
+	if got < 0.4*h.Total || got > 0.6*h.Total {
+		t.Errorf("massIn(half) = %g of %g", got, h.Total)
+	}
+	// Disjoint rect: nothing.
+	far := geom.Rect{Min: geom.Point{X: 100, Y: 100}, Max: geom.Point{X: 101, Y: 101}}
+	if h.massIn(far) != 0 {
+		t.Error("disjoint massIn must be 0")
+	}
+}
+
+func TestPredictHistogramValidation(t *testing.T) {
+	h, _ := NewHistogram(dataset.Uniform(4, 100), 4)
+	h2, _ := NewHistogram(dataset.Uniform(5, 100), 8)
+	if _, err := PredictHistogram(nil, h, 1, 0); err == nil {
+		t.Error("nil histogram must fail")
+	}
+	if _, err := PredictHistogram(h, h, 0, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, err := PredictHistogram(h, h2, 1, 0); err == nil {
+		t.Error("grid mismatch must fail")
+	}
+}
+
+func TestPredictHistogramAgreesWithUniformModel(t *testing.T) {
+	// On uniform data the histogram model must land near the closed-form
+	// uniform model.
+	pa := dataset.Uniform(6, 20000)
+	pb := dataset.Uniform(7, 20000)
+	ha, err := NewHistogram(pa, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := NewHistogram(pb, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := PredictHistogram(ha, hb, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unif, err := Predict(Params{NA: 20000, NB: 20000, Overlap: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := hist.Accesses / unif.Accesses
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("histogram %g vs uniform %g (ratio %.2f)", hist.Accesses, unif.Accesses, ratio)
+	}
+}
+
+func TestPredictHistogramOnClusteredData(t *testing.T) {
+	// The point of the histogram model: on clustered-vs-uniform joins it
+	// must stay within a reasonable factor of the measured cost, where the
+	// uniform model has no way to see the skew.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pa := dataset.Clustered(62536, 20000)
+	pb := dataset.Uniform(8, 20000)
+	build := func(pts []geom.Point) *rtree.Tree {
+		pool := storage.NewBufferPool(storage.NewMemFile(1024), 0)
+		tr, err := rtree.New(pool, rtree.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pts {
+			if err := tr.InsertPoint(p, int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr
+	}
+	ta, tb := build(pa), build(pb)
+	_, stats, err := core.KClosestPairs(ta, tb, 100, core.DefaultOptions(core.Heap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := NewHistogram(pa, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := NewHistogram(pb, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := PredictHistogram(ha, hb, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := pred.Accesses / float64(stats.Accesses())
+	if ratio < 1.0/4 || ratio > 4 {
+		t.Errorf("clustered join: predicted %.0f vs measured %d (ratio %.2f)",
+			pred.Accesses, stats.Accesses(), ratio)
+	}
+}

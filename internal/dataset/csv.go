@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// WritePoints writes points as "x,y" CSV lines.
+func WritePoints(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(bw, "%.17g,%.17g\n", p.X, p.Y); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPoints parses "x,y" CSV lines (blank lines and #-comments ignored).
+func ReadPoints(r io.Reader) ([]geom.Point, error) {
+	var pts []geom.Point
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		comma := strings.IndexByte(line, ',')
+		if comma < 0 {
+			return nil, fmt.Errorf("dataset: line %d: expected \"x,y\", got %q", lineNo, line)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(line[:comma]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad x: %w", lineNo, err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(line[comma+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad y: %w", lineNo, err)
+		}
+		pts = append(pts, geom.Point{X: x, Y: y})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// SavePoints writes points to a CSV file.
+func SavePoints(path string, pts []geom.Point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePoints(f, pts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPoints reads points from a CSV file.
+func LoadPoints(path string) ([]geom.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPoints(f)
+}

@@ -1,0 +1,196 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func metricsUnderTest(t *testing.T) []Metric {
+	t.Helper()
+	l3, err := Lp(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l15, err := Lp(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Metric{L2(), L1(), LInf(), l3, l15}
+}
+
+func TestLpConstructors(t *testing.T) {
+	if _, err := Lp(0.5); err == nil {
+		t.Error("p < 1 must be rejected")
+	}
+	if _, err := Lp(math.NaN()); err == nil {
+		t.Error("NaN p must be rejected")
+	}
+	m, err := Lp(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsEuclidean() {
+		t.Error("Lp(2) must normalize to the Euclidean metric")
+	}
+	if !(Metric{}).IsEuclidean() {
+		t.Error("zero Metric must be Euclidean")
+	}
+	names := map[string]bool{}
+	for _, m := range metricsUnderTest(t) {
+		if n := m.String(); n == "" || names[n] {
+			t.Errorf("bad or duplicate metric name %q", n)
+		} else {
+			names[n] = true
+		}
+	}
+}
+
+func TestMetricPointDistances(t *testing.T) {
+	a, b := Point{X: 1, Y: 2}, Point{X: 4, Y: 6} // dx=3, dy=4
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{L2(), 5},
+		{L1(), 7},
+		{LInf(), 4},
+	}
+	for _, c := range cases {
+		if got := c.m.Dist(a, b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v.Dist = %g, want %g", c.m, got, c.want)
+		}
+	}
+	l3, _ := Lp(3)
+	want := math.Pow(27+64, 1.0/3)
+	if got := l3.Dist(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("L3.Dist = %g, want %g", got, want)
+	}
+}
+
+func TestMetricKeyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range metricsUnderTest(t) {
+		for i := 0; i < 500; i++ {
+			d := rng.Float64() * 100
+			if got := m.KeyToDist(m.DistToKey(d)); math.Abs(got-d) > 1e-9*math.Max(1, d) {
+				t.Fatalf("%v: key round trip %g -> %g", m, d, got)
+			}
+		}
+	}
+}
+
+func TestMetricKeyIsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range metricsUnderTest(t) {
+		for i := 0; i < 500; i++ {
+			a := Point{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+			b := Point{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+			c := Point{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+			d := Point{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+			kLess := m.Key(a, b) < m.Key(c, d)
+			dLess := m.Dist(a, b) < m.Dist(c, d)
+			if kLess != dLess {
+				t.Fatalf("%v: key order disagrees with distance order", m)
+			}
+		}
+	}
+}
+
+func TestMetricTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range metricsUnderTest(t) {
+		for i := 0; i < 500; i++ {
+			a := Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+			b := Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+			c := Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+			if m.Dist(a, c) > m.Dist(a, b)+m.Dist(b, c)+1e-9 {
+				t.Fatalf("%v: triangle inequality violated", m)
+			}
+		}
+	}
+}
+
+func TestMetricL2MatchesLegacyFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := L2()
+	for i := 0; i < 1000; i++ {
+		a, b := randRect(rng, 10), randRect(rng, 10)
+		if m.MinMinKey(a, b) != MinMinDistSq(a, b) {
+			t.Fatal("MinMinKey != MinMinDistSq")
+		}
+		if m.MaxMaxKey(a, b) != MaxMaxDistSq(a, b) {
+			t.Fatal("MaxMaxKey != MaxMaxDistSq")
+		}
+		if math.Abs(m.MinMaxKey(a, b)-MinMaxDistSq(a, b)) > 1e-9 {
+			t.Fatal("MinMaxKey != MinMaxDistSq")
+		}
+		p := Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		if m.PointRectMinKey(p, a) != PointRectMinDistSq(p, a) {
+			t.Fatal("PointRectMinKey != PointRectMinDistSq")
+		}
+	}
+}
+
+func TestLpInequalityOneProperty(t *testing.T) {
+	// MINMINDIST <= dist(p,q) <= MAXMAXDIST under every metric.
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range metricsUnderTest(t) {
+		for i := 0; i < 200; i++ {
+			a, b := randRect(rng, 5), randRect(rng, 5)
+			mn, mx := m.MinMinKey(a, b), m.MaxMaxKey(a, b)
+			for j := 0; j < 10; j++ {
+				p, q := randPointIn(rng, a), randPointIn(rng, b)
+				k := m.Key(p, q)
+				if k < mn-1e-9 || k > mx+1e-9 {
+					t.Fatalf("%v: inequality 1 violated: key=%g mn=%g mx=%g",
+						m, k, mn, mx)
+				}
+			}
+		}
+	}
+}
+
+func TestLpInequalityTwoProperty(t *testing.T) {
+	// Inequality 2 under every metric: MBRs of point sets always contain a
+	// pair at distance <= MINMAXDIST.
+	rng := rand.New(rand.NewSource(6))
+	for _, m := range metricsUnderTest(t) {
+		for i := 0; i < 100; i++ {
+			ps := make([]Point, 4+rng.Intn(8))
+			qs := make([]Point, 4+rng.Intn(8))
+			for j := range ps {
+				ps[j] = Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+			}
+			for j := range qs {
+				qs[j] = Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+			}
+			a, b := RectOf(ps...), RectOf(qs...)
+			mm := m.MinMaxKey(a, b)
+			best := math.Inf(1)
+			for _, p := range ps {
+				for _, q := range qs {
+					if k := m.Key(p, q); k < best {
+						best = k
+					}
+				}
+			}
+			if best > mm+1e-9 {
+				t.Fatalf("%v: inequality 2 violated: best=%g minmax=%g", m, best, mm)
+			}
+		}
+	}
+}
+
+func TestLpMetricOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range metricsUnderTest(t) {
+		for i := 0; i < 500; i++ {
+			a, b := randRect(rng, 10), randRect(rng, 10)
+			mn, mm, mx := m.MinMinKey(a, b), m.MinMaxKey(a, b), m.MaxMaxKey(a, b)
+			if mn > mm+1e-9 || mm > mx+1e-9 {
+				t.Fatalf("%v: metric ordering violated: %g %g %g", m, mn, mm, mx)
+			}
+		}
+	}
+}

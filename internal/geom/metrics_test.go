@@ -1,0 +1,258 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMinMinDistBasic(t *testing.T) {
+	a := Rect{Point{0, 0}, Point{1, 1}}
+	cases := []struct {
+		b    Rect
+		want float64 // non-squared
+	}{
+		{Rect{Point{2, 0}, Point{3, 1}}, 1},     // right of a
+		{Rect{Point{0, 3}, Point{1, 4}}, 2},     // above a
+		{Rect{Point{4, 5}, Point{6, 7}}, 5},     // diagonal: dx=3, dy=4
+		{Rect{Point{0.5, 0.5}, Point{2, 2}}, 0}, // overlapping
+		{Rect{Point{1, 0}, Point{2, 1}}, 0},     // touching
+		{Rect{Point{-3, -4}, Point{-3, -4}}, 5}, // point rect, diagonal
+		{Rect{Point{0.2, 0.2}, Point{0.8, 0.8}}, 0} /* contained */}
+	for _, c := range cases {
+		if got := MinMinDist(a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MinMinDist(%v, %v) = %g, want %g", a, c.b, got, c.want)
+		}
+		if got, want := MinMinDistSq(a, c.b), c.want*c.want; math.Abs(got-want) > 1e-12 {
+			t.Errorf("MinMinDistSq(%v, %v) = %g, want %g", a, c.b, got, want)
+		}
+	}
+}
+
+func TestMaxMaxDistBasic(t *testing.T) {
+	a := Rect{Point{0, 0}, Point{1, 1}}
+	b := Rect{Point{2, 0}, Point{3, 1}}
+	// Farthest corners: (0,0)-(3,1) or (0,1)-(3,0): sqrt(9+1).
+	want := math.Sqrt(10)
+	if got := MaxMaxDist(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxMaxDist = %g, want %g", got, want)
+	}
+	// Identical unit squares: diagonal.
+	if got := MaxMaxDist(a, a); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("MaxMaxDist(a,a) = %g, want sqrt(2)", got)
+	}
+}
+
+func TestMinMaxDistBasic(t *testing.T) {
+	a := Rect{Point{0, 0}, Point{1, 1}}
+	b := Rect{Point{2, 0}, Point{3, 1}}
+	// Best edge pair: right edge of a (x=1) and left edge of b (x=2).
+	// MAXDIST of those edges = max corner-to-corner = sqrt(1 + 1).
+	want := math.Sqrt(2)
+	if got := MinMaxDist(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MinMaxDist = %g, want %g", got, want)
+	}
+}
+
+func TestMetricsOnDegenerateRects(t *testing.T) {
+	// For two point-rects all three metrics collapse to the point distance.
+	p, q := Point{1, 2}, Point{4, 6}
+	a, b := p.Rect(), q.Rect()
+	want := p.DistSq(q)
+	for name, got := range map[string]float64{
+		"MinMinDistSq": MinMinDistSq(a, b),
+		"MinMaxDistSq": MinMaxDistSq(a, b),
+		"MaxMaxDistSq": MaxMaxDistSq(a, b),
+	} {
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+}
+
+func TestMetricOrderingProperty(t *testing.T) {
+	// MINMINDIST <= MINMAXDIST <= MAXMAXDIST for random rect pairs.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		a, b := randRect(rng, 10), randRect(rng, 10)
+		mn := MinMinDistSq(a, b)
+		mm := MinMaxDistSq(a, b)
+		mx := MaxMaxDistSq(a, b)
+		if mn > mm+1e-9 || mm > mx+1e-9 {
+			t.Fatalf("metric ordering violated: a=%v b=%v mn=%g mm=%g mx=%g",
+				a, b, mn, mm, mx)
+		}
+	}
+}
+
+func TestInequalityOneProperty(t *testing.T) {
+	// Inequality 1: MINMINDIST <= dist(p,q) <= MAXMAXDIST for all p in a,
+	// q in b.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b := randRect(rng, 5), randRect(rng, 5)
+		mn := MinMinDistSq(a, b)
+		mx := MaxMaxDistSq(a, b)
+		for j := 0; j < 20; j++ {
+			p, q := randPointIn(rng, a), randPointIn(rng, b)
+			d := p.DistSq(q)
+			if d < mn-1e-9 || d > mx+1e-9 {
+				t.Fatalf("inequality 1 violated: a=%v b=%v p=%v q=%v d=%g mn=%g mx=%g",
+					a, b, p, q, d, mn, mx)
+			}
+		}
+	}
+}
+
+func TestInequalityTwoProperty(t *testing.T) {
+	// Inequality 2: when every edge of both MBRs carries a data point, some
+	// pair has distance <= MINMAXDIST. Build MBRs of random point sets (so
+	// the edge property holds) and verify the minimum pairwise distance
+	// does not exceed MINMAXDIST.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		ps := make([]Point, 5+rng.Intn(10))
+		qs := make([]Point, 5+rng.Intn(10))
+		for j := range ps {
+			ps[j] = Point{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		for j := range qs {
+			qs[j] = Point{rng.Float64()*10 + 5, rng.Float64() * 10}
+		}
+		a, b := RectOf(ps...), RectOf(qs...)
+		mm := MinMaxDistSq(a, b)
+		best := math.Inf(1)
+		for _, p := range ps {
+			for _, q := range qs {
+				if d := p.DistSq(q); d < best {
+					best = d
+				}
+			}
+		}
+		if best > mm+1e-9 {
+			t.Fatalf("inequality 2 violated: best=%g minmax=%g a=%v b=%v",
+				best, mm, a, b)
+		}
+	}
+}
+
+func TestMetricsSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 1000; i++ {
+		a, b := randRect(rng, 10), randRect(rng, 10)
+		if MinMinDistSq(a, b) != MinMinDistSq(b, a) {
+			t.Fatal("MinMinDistSq must be symmetric")
+		}
+		if MaxMaxDistSq(a, b) != MaxMaxDistSq(b, a) {
+			t.Fatal("MaxMaxDistSq must be symmetric")
+		}
+		if math.Abs(MinMaxDistSq(a, b)-MinMaxDistSq(b, a)) > 1e-9 {
+			t.Fatal("MinMaxDistSq must be symmetric")
+		}
+	}
+}
+
+func TestPointRectMinDist(t *testing.T) {
+	r := Rect{Point{0, 0}, Point{2, 2}}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{1, 1}, 0},  // inside
+		{Point{0, 0}, 0},  // corner
+		{Point{3, 1}, 1},  // right
+		{Point{1, -2}, 2}, // below
+		{Point{5, 6}, 5},  // diagonal dx=3 dy=4
+	}
+	for _, c := range cases {
+		if got := PointRectMinDist(c.p, r); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PointRectMinDist(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPointRectMinDistMatchesRectMetric(t *testing.T) {
+	// MINDIST(p, r) == MINMINDIST(rect(p), r).
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 2000; i++ {
+		r := randRect(rng, 10)
+		p := Point{rng.Float64()*40 - 20, rng.Float64()*40 - 20}
+		a := PointRectMinDistSq(p, r)
+		b := MinMinDistSq(p.Rect(), r)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("mismatch p=%v r=%v a=%g b=%g", p, r, a, b)
+		}
+	}
+}
+
+func TestPointRectMinMaxDistMatchesRectMetric(t *testing.T) {
+	// The Roussopoulos point-MBR MINMAXDIST must agree with the generic
+	// MBR-MBR MINMAXDIST applied to a degenerate rectangle.
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 2000; i++ {
+		r := randRect(rng, 10)
+		p := Point{rng.Float64()*40 - 20, rng.Float64()*40 - 20}
+		a := PointRectMinMaxDistSq(p, r)
+		b := MinMaxDistSq(p.Rect(), r)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("mismatch p=%v r=%v a=%g b=%g", p, r, a, b)
+		}
+	}
+}
+
+func TestPointRectMaxDist(t *testing.T) {
+	r := Rect{Point{0, 0}, Point{2, 2}}
+	// From (3,3) the farthest corner is (0,0): dist sqrt(18).
+	if got := PointRectMaxDistSq(Point{3, 3}, r); math.Abs(got-18) > 1e-12 {
+		t.Errorf("PointRectMaxDistSq = %g, want 18", got)
+	}
+	// Inside point: farthest corner.
+	if got := PointRectMaxDistSq(Point{0.5, 0.5}, r); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("PointRectMaxDistSq inside = %g, want 4.5", got)
+	}
+}
+
+func TestMinMaxDistBruteForceEdges(t *testing.T) {
+	// Cross-check MinMaxDistSq against a slow sampling upper/lower check:
+	// for every edge pair, the sampled max over points on the edges must be
+	// <= the analytic edge max; the min over edge pairs of sampled maxima
+	// approximates MINMAXDIST from below.
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		a, b := randRect(rng, 5), randRect(rng, 5)
+		ea, eb := a.Edges(), b.Edges()
+		approx := math.Inf(1)
+		for _, e := range ea {
+			for _, f := range eb {
+				sampledMax := 0.0
+				for s := 0; s <= 8; s++ {
+					for u := 0; u <= 8; u++ {
+						sp := Point{
+							e[0].X + float64(s)/8*(e[1].X-e[0].X),
+							e[0].Y + float64(s)/8*(e[1].Y-e[0].Y),
+						}
+						up := Point{
+							f[0].X + float64(u)/8*(f[1].X-f[0].X),
+							f[0].Y + float64(u)/8*(f[1].Y-f[0].Y),
+						}
+						if d := sp.DistSq(up); d > sampledMax {
+							sampledMax = d
+						}
+					}
+				}
+				analytic := edgeMaxDistSq(e, f)
+				if sampledMax > analytic+1e-9 {
+					t.Fatalf("edge max underestimates: sampled=%g analytic=%g",
+						sampledMax, analytic)
+				}
+				if sampledMax < approx {
+					approx = sampledMax
+				}
+			}
+		}
+		got := MinMaxDistSq(a, b)
+		if got > approx+1e-9 {
+			t.Fatalf("MinMaxDistSq=%g exceeds sampled bound %g", got, approx)
+		}
+	}
+}

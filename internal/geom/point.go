@@ -1,0 +1,67 @@
+// Package geom provides the planar geometry primitives and the MBR distance
+// metrics used by the closest-pair algorithms: points, axis-aligned
+// rectangles (MBRs), and the MINMINDIST / MINMAXDIST / MAXMAXDIST metrics
+// between two MBRs defined in Section 2.3 of Corral et al. (SIGMOD 2000),
+// plus the point-to-MBR metrics of Roussopoulos et al. (SIGMOD 1995).
+//
+// All distance computations are carried out on squared Euclidean distances
+// to avoid square roots on hot paths; every *Sq function has a non-squared
+// convenience wrapper.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a point in the plane. The paper focuses on 2-dimensional data;
+// the extension to k dimensions is mechanical (§2.1).
+type Point struct {
+	X, Y float64
+}
+
+// DistSq returns the squared Euclidean distance between p and q.
+func (p Point) DistSq(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Sqrt(p.DistSq(q))
+}
+
+// Add returns the translation of p by (dx, dy).
+func (p Point) Add(dx, dy float64) Point {
+	return Point{p.X + dx, p.Y + dy}
+}
+
+// Scale returns p with both coordinates multiplied by s.
+func (p Point) Scale(s float64) Point {
+	return Point{p.X * s, p.Y * s}
+}
+
+// Equal reports whether p and q have identical coordinates.
+func (p Point) Equal(q Point) bool {
+	return p.X == q.X && p.Y == q.Y
+}
+
+// Less orders points lexicographically by (X, Y). It is used to produce
+// deterministic output orders for pairs with tied distances.
+func (p Point) Less(q Point) bool {
+	if p.X != q.X {
+		return p.X < q.X
+	}
+	return p.Y < q.Y
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%g, %g)", p.X, p.Y)
+}
+
+// Rect returns the degenerate rectangle covering exactly p.
+func (p Point) Rect() Rect {
+	return Rect{Min: p, Max: p}
+}

@@ -1,0 +1,206 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randRect produces a valid rectangle inside [-s, s]^2.
+func randRect(rng *rand.Rand, s float64) Rect {
+	x1, x2 := rng.Float64()*2*s-s, rng.Float64()*2*s-s
+	y1, y2 := rng.Float64()*2*s-s, rng.Float64()*2*s-s
+	return Rect{
+		Min: Point{math.Min(x1, x2), math.Min(y1, y2)},
+		Max: Point{math.Max(x1, x2), math.Max(y1, y2)},
+	}
+}
+
+// randPointIn returns a random point inside r.
+func randPointIn(rng *rand.Rand, r Rect) Point {
+	return Point{
+		X: r.Min.X + rng.Float64()*(r.Max.X-r.Min.X),
+		Y: r.Min.Y + rng.Float64()*(r.Max.Y-r.Min.Y),
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect must be empty")
+	}
+	if e.Area() != 0 || e.Margin() != 0 {
+		t.Error("empty rect must have zero area and margin")
+	}
+	r := Rect{Point{0, 0}, Point{1, 1}}
+	if got := e.Union(r); !got.Equal(r) {
+		t.Errorf("EmptyRect.Union(r) = %v, want %v", got, r)
+	}
+	if got := r.Union(e); !got.Equal(r) {
+		t.Errorf("r.Union(EmptyRect) = %v, want %v", got, r)
+	}
+}
+
+func TestRectOf(t *testing.T) {
+	r := RectOf(Point{1, 5}, Point{-2, 3}, Point{4, 4})
+	want := Rect{Point{-2, 3}, Point{4, 5}}
+	if !r.Equal(want) {
+		t.Errorf("RectOf = %v, want %v", r, want)
+	}
+	if !RectOf().IsEmpty() {
+		t.Error("RectOf() must be empty")
+	}
+}
+
+func TestRectAreaMargin(t *testing.T) {
+	r := Rect{Point{1, 2}, Point{4, 6}}
+	if got := r.Area(); got != 12 {
+		t.Errorf("Area = %g", got)
+	}
+	if got := r.Margin(); got != 7 {
+		t.Errorf("Margin = %g", got)
+	}
+	if got := r.Center(); !got.Equal(Point{2.5, 4}) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestRectUnionContains(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		a := RectOf(Point{ax, ay}, Point{bx, by})
+		b := RectOf(Point{cx, cy}, Point{dx, dy})
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectUnionCommutative(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		a := RectOf(Point{ax, ay}, Point{bx, by})
+		b := RectOf(Point{cx, cy}, Point{dx, dy})
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{Point{0, 0}, Point{2, 2}}
+	b := Rect{Point{1, 1}, Point{3, 3}}
+	got := a.Intersect(b)
+	want := Rect{Point{1, 1}, Point{2, 2}}
+	if !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a and b must intersect")
+	}
+	c := Rect{Point{5, 5}, Point{6, 6}}
+	if a.Intersects(c) {
+		t.Error("a and c must not intersect")
+	}
+	if !a.Intersect(c).IsEmpty() {
+		t.Error("disjoint intersect must be empty")
+	}
+	// Touching edges intersect but have zero overlap area.
+	d := Rect{Point{2, 0}, Point{4, 2}}
+	if !a.Intersects(d) {
+		t.Error("touching rects must intersect")
+	}
+	if a.OverlapArea(d) != 0 {
+		t.Error("touching rects must have zero overlap area")
+	}
+}
+
+func TestRectOverlapArea(t *testing.T) {
+	a := Rect{Point{0, 0}, Point{2, 2}}
+	b := Rect{Point{1, 1}, Point{3, 3}}
+	if got := a.OverlapArea(b); got != 1 {
+		t.Errorf("OverlapArea = %g", got)
+	}
+	if got := a.OverlapArea(a); got != 4 {
+		t.Errorf("self OverlapArea = %g", got)
+	}
+}
+
+func TestRectEnlargement(t *testing.T) {
+	a := Rect{Point{0, 0}, Point{1, 1}}
+	b := Rect{Point{2, 0}, Point{3, 1}}
+	if got := a.Enlargement(b); got != 2 {
+		t.Errorf("Enlargement = %g", got)
+	}
+	if got := a.Enlargement(a); got != 0 {
+		t.Errorf("self Enlargement = %g", got)
+	}
+}
+
+func TestRectContainsPoint(t *testing.T) {
+	r := Rect{Point{0, 0}, Point{1, 1}}
+	for _, p := range []Point{{0, 0}, {1, 1}, {0.5, 0.5}, {0, 1}} {
+		if !r.ContainsPoint(p) {
+			t.Errorf("%v must be inside %v", p, r)
+		}
+	}
+	for _, p := range []Point{{-0.1, 0}, {1.1, 1}, {0.5, 2}} {
+		if r.ContainsPoint(p) {
+			t.Errorf("%v must be outside %v", p, r)
+		}
+	}
+}
+
+func TestRectCornersEdges(t *testing.T) {
+	r := Rect{Point{0, 0}, Point{2, 1}}
+	corners := r.Corners()
+	for _, c := range corners {
+		if !r.ContainsPoint(c) {
+			t.Errorf("corner %v outside rect", c)
+		}
+	}
+	edges := r.Edges()
+	if len(edges) != 4 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	// Each edge endpoint must be a corner.
+	isCorner := func(p Point) bool {
+		for _, c := range corners {
+			if c.Equal(p) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range edges {
+		if !isCorner(e[0]) || !isCorner(e[1]) {
+			t.Errorf("edge %v endpoints are not corners", e)
+		}
+	}
+}
+
+func TestRectTranslate(t *testing.T) {
+	r := Rect{Point{0, 0}, Point{1, 1}}
+	got := r.Translate(2, 3)
+	want := Rect{Point{2, 3}, Point{3, 4}}
+	if !got.Equal(want) {
+		t.Errorf("Translate = %v, want %v", got, want)
+	}
+}
+
+func TestRectValid(t *testing.T) {
+	if !(Rect{Point{0, 0}, Point{1, 1}}).Valid() {
+		t.Error("unit rect must be valid")
+	}
+	if (Rect{Point{1, 0}, Point{0, 1}}).Valid() {
+		t.Error("inverted rect must be invalid")
+	}
+	if EmptyRect().Valid() {
+		t.Error("empty rect must be invalid")
+	}
+	if (Rect{Point{math.NaN(), 0}, Point{1, 1}}).Valid() {
+		t.Error("NaN rect must be invalid")
+	}
+}

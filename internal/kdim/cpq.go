@@ -1,0 +1,243 @@
+package kdim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pair is one k-dimensional closest-pair result.
+type Pair struct {
+	P, Q       Point
+	RefP, RefQ int64
+	Dist       float64
+}
+
+// Stats reports the cost of a k-dimensional query. The trees are
+// in-memory, so cost is counted in node pairs processed (each of which
+// would be two page reads on a paged tree).
+type Stats struct {
+	NodePairsProcessed int64
+	SubPairsPruned     int64
+	PointPairsCompared int64
+	MaxQueueSize       int
+}
+
+// kdPair is a heap element of the HEAP algorithm in k dimensions.
+type kdPair struct {
+	minminSq float64
+	a, b     *node
+}
+
+type kdPairHeap []kdPair
+
+func (h kdPairHeap) less(i, j int) bool { return h[i].minminSq < h[j].minminSq }
+
+func (h *kdPairHeap) push(p kdPair) {
+	*h = append(*h, p)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *kdPairHeap) pop() kdPair {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old[last] = kdPair{}
+	*h = old[:last]
+	n := len(*h)
+	i := 0
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+}
+
+// resultHeap is the K-heap in k dimensions.
+type resultHeap struct {
+	k     int
+	pairs []Pair // max-heap on Dist
+}
+
+func (r *resultHeap) threshold() float64 {
+	if len(r.pairs) < r.k {
+		return math.Inf(1)
+	}
+	return r.pairs[0].Dist * r.pairs[0].Dist
+}
+
+func (r *resultHeap) offer(distSq float64, p, q Point, refP, refQ int64) {
+	d := math.Sqrt(distSq)
+	if len(r.pairs) >= r.k && d >= r.pairs[0].Dist {
+		return
+	}
+	pair := Pair{
+		P: append(Point(nil), p...), Q: append(Point(nil), q...),
+		RefP: refP, RefQ: refQ, Dist: d,
+	}
+	if len(r.pairs) < r.k {
+		r.pairs = append(r.pairs, pair)
+		i := len(r.pairs) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if r.pairs[parent].Dist >= r.pairs[i].Dist {
+				break
+			}
+			r.pairs[parent], r.pairs[i] = r.pairs[i], r.pairs[parent]
+			i = parent
+		}
+		return
+	}
+	r.pairs[0] = pair
+	n := len(r.pairs)
+	i := 0
+	for {
+		largest := i
+		if l := 2*i + 1; l < n && r.pairs[l].Dist > r.pairs[largest].Dist {
+			largest = l
+		}
+		if rr := 2*i + 2; rr < n && r.pairs[rr].Dist > r.pairs[largest].Dist {
+			largest = rr
+		}
+		if largest == i {
+			return
+		}
+		r.pairs[i], r.pairs[largest] = r.pairs[largest], r.pairs[i]
+		i = largest
+	}
+}
+
+// KClosestPairs finds the K closest pairs between two k-dimensional trees
+// with the iterative HEAP algorithm: a min-heap of node pairs keyed by
+// MINMINDIST, pruned against the K-heap threshold. The different-heights
+// treatment is fix-at-root, the paper's recommendation.
+func KClosestPairs(ta, tb *Tree, k int) ([]Pair, Stats, error) {
+	if ta.dims != tb.dims {
+		return nil, Stats{}, fmt.Errorf("kdim: dimensionality mismatch %d vs %d", ta.dims, tb.dims)
+	}
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("kdim: k must be positive, got %d", k)
+	}
+	if ta.size == 0 || tb.size == 0 {
+		return nil, Stats{}, errors.New("kdim: query over an empty tree")
+	}
+	var stats Stats
+	results := &resultHeap{k: k}
+	h := &kdPairHeap{}
+	h.push(kdPair{minminSq: MinMinDistSq(ta.root.mbr(), tb.root.mbr()), a: ta.root, b: tb.root})
+
+	for len(*h) > 0 {
+		if len(*h) > stats.MaxQueueSize {
+			stats.MaxQueueSize = len(*h)
+		}
+		p := h.pop()
+		if p.minminSq > results.threshold() {
+			break
+		}
+		stats.NodePairsProcessed++
+		na, nb := p.a, p.b
+
+		if na.level == 0 && nb.level == 0 {
+			for i := range na.entries {
+				for j := range nb.entries {
+					stats.PointPairsCompared++
+					d := MinMinDistSq(na.entries[i].rect, nb.entries[j].rect)
+					results.offer(d, na.entries[i].rect.Min, nb.entries[j].rect.Min,
+						na.entries[i].ref, nb.entries[j].ref)
+				}
+			}
+			continue
+		}
+
+		// Fix-at-root: open only the higher-level node while levels differ.
+		expandA := na.level >= nb.level && na.level > 0
+		expandB := nb.level >= na.level && nb.level > 0
+		T := results.threshold()
+		switch {
+		case expandA && expandB:
+			for i := range na.entries {
+				for j := range nb.entries {
+					mm := MinMinDistSq(na.entries[i].rect, nb.entries[j].rect)
+					if mm > T {
+						stats.SubPairsPruned++
+						continue
+					}
+					h.push(kdPair{minminSq: mm, a: na.entries[i].child, b: nb.entries[j].child})
+				}
+			}
+		case expandA:
+			for i := range na.entries {
+				mm := MinMinDistSq(na.entries[i].rect, nb.mbr())
+				if mm > T {
+					stats.SubPairsPruned++
+					continue
+				}
+				h.push(kdPair{minminSq: mm, a: na.entries[i].child, b: nb})
+			}
+		default:
+			for j := range nb.entries {
+				mm := MinMinDistSq(na.mbr(), nb.entries[j].rect)
+				if mm > T {
+					stats.SubPairsPruned++
+					continue
+				}
+				h.push(kdPair{minminSq: mm, a: na, b: nb.entries[j].child})
+			}
+		}
+	}
+
+	out := append([]Pair(nil), results.pairs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		if out[i].RefP != out[j].RefP {
+			return out[i].RefP < out[j].RefP
+		}
+		return out[i].RefQ < out[j].RefQ
+	})
+	return out, stats, nil
+}
+
+// BruteForceKCP is the oracle: full pairwise scan.
+func BruteForceKCP(ps, qs []Point, k int) []Pair {
+	if k <= 0 || len(ps) == 0 || len(qs) == 0 {
+		return nil
+	}
+	r := &resultHeap{k: k}
+	for i, p := range ps {
+		for j, q := range qs {
+			r.offer(DistSq(p, q), p, q, int64(i), int64(j))
+		}
+	}
+	out := append([]Pair(nil), r.pairs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		if out[i].RefP != out[j].RefP {
+			return out[i].RefP < out[j].RefP
+		}
+		return out[i].RefQ < out[j].RefQ
+	})
+	return out
+}

@@ -1,0 +1,195 @@
+// Package kdim validates the paper's claim that "the extension to
+// k-dimensional space is straightforward" (Section 2.1): it provides
+// k-dimensional points and MBRs, the MINMINDIST / MAXMAXDIST bounds, an
+// in-memory k-dimensional R*-tree, and the HEAP K-CPQ algorithm on top.
+//
+// Scope notes. The package is a dimensional validation prototype, not a
+// second storage engine: nodes live on the heap and cost is counted in
+// node pairs processed rather than page accesses. Pruning uses
+// MINMINDIST and the K-heap bound only — the 2-D MINMAXDIST shortcut of
+// Inequality 2 rests on an edge-pair enumeration whose k-dimensional
+// generalization (face pairs) is easy to get subtly wrong, and the
+// algorithms remain correct (Section 3.8's simple variant) without it.
+package kdim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a point in k-dimensional space.
+type Point []float64
+
+// DistSq returns the squared Euclidean distance between two points of the
+// same dimensionality.
+func DistSq(a, b Point) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// Dist returns the Euclidean distance.
+func Dist(a, b Point) float64 { return math.Sqrt(DistSq(a, b)) }
+
+// Rect is an axis-aligned box in k dimensions.
+type Rect struct {
+	Min, Max Point
+}
+
+// PointRect returns the degenerate box covering exactly p.
+func PointRect(p Point) Rect {
+	return Rect{Min: append(Point(nil), p...), Max: append(Point(nil), p...)}
+}
+
+// Dims returns the dimensionality.
+func (r Rect) Dims() int { return len(r.Min) }
+
+// Valid reports whether r is well-formed: equal dimensionalities, finite
+// coordinates, Min <= Max on every axis.
+func (r Rect) Valid() bool {
+	if len(r.Min) == 0 || len(r.Min) != len(r.Max) {
+		return false
+	}
+	for i := range r.Min {
+		if math.IsNaN(r.Min[i]) || math.IsInf(r.Min[i], 0) ||
+			math.IsNaN(r.Max[i]) || math.IsInf(r.Max[i], 0) ||
+			r.Min[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the smallest box covering r and s (r may be zero-valued
+// to act as the identity).
+func (r Rect) Union(s Rect) Rect {
+	if len(r.Min) == 0 {
+		return s.clone()
+	}
+	out := r.clone()
+	for i := range out.Min {
+		if s.Min[i] < out.Min[i] {
+			out.Min[i] = s.Min[i]
+		}
+		if s.Max[i] > out.Max[i] {
+			out.Max[i] = s.Max[i]
+		}
+	}
+	return out
+}
+
+func (r Rect) clone() Rect {
+	return Rect{
+		Min: append(Point(nil), r.Min...),
+		Max: append(Point(nil), r.Max...),
+	}
+}
+
+// Volume returns the k-dimensional volume (the "area" of the R* criteria).
+func (r Rect) Volume() float64 {
+	if len(r.Min) == 0 {
+		return 0
+	}
+	v := 1.0
+	for i := range r.Min {
+		v *= r.Max[i] - r.Min[i]
+	}
+	return v
+}
+
+// Margin returns the sum of the box's extents (the R* margin value up to
+// a constant factor).
+func (r Rect) Margin() float64 {
+	var m float64
+	for i := range r.Min {
+		m += r.Max[i] - r.Min[i]
+	}
+	return m
+}
+
+// Center returns the centroid.
+func (r Rect) Center() Point {
+	c := make(Point, len(r.Min))
+	for i := range r.Min {
+		c[i] = (r.Min[i] + r.Max[i]) / 2
+	}
+	return c
+}
+
+// Contains reports whether s lies entirely within r.
+func (r Rect) Contains(s Rect) bool {
+	for i := range r.Min {
+		if s.Min[i] < r.Min[i] || s.Max[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Enlargement returns the volume increase needed for r to cover s.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Volume() - r.Volume()
+}
+
+// OverlapVolume returns the volume of the intersection of r and s.
+func (r Rect) OverlapVolume(s Rect) float64 {
+	v := 1.0
+	for i := range r.Min {
+		lo := math.Max(r.Min[i], s.Min[i])
+		hi := math.Min(r.Max[i], s.Max[i])
+		if hi <= lo {
+			return 0
+		}
+		v *= hi - lo
+	}
+	return v
+}
+
+// MinMinDistSq returns the squared MINMINDIST between two boxes: per-axis
+// separations combined by the Euclidean norm (0 on intersection), exactly
+// as in two dimensions.
+func MinMinDistSq(a, b Rect) float64 {
+	var sum float64
+	for i := range a.Min {
+		var d float64
+		switch {
+		case b.Min[i] > a.Max[i]:
+			d = b.Min[i] - a.Max[i]
+		case a.Min[i] > b.Max[i]:
+			d = a.Min[i] - b.Max[i]
+		}
+		sum += d * d
+	}
+	return sum
+}
+
+// MaxMaxDistSq returns the squared MAXMAXDIST: per-axis maximal
+// separations, attained simultaneously at a corner pair in any dimension.
+func MaxMaxDistSq(a, b Rect) float64 {
+	var sum float64
+	for i := range a.Min {
+		d := math.Max(math.Abs(b.Max[i]-a.Min[i]), math.Abs(a.Max[i]-b.Min[i]))
+		sum += d * d
+	}
+	return sum
+}
+
+// checkDims verifies that all points share a positive dimensionality.
+func checkDims(pts []Point) (int, error) {
+	if len(pts) == 0 {
+		return 0, fmt.Errorf("kdim: no points")
+	}
+	dims := len(pts[0])
+	if dims == 0 {
+		return 0, fmt.Errorf("kdim: zero-dimensional point")
+	}
+	for i, p := range pts {
+		if len(p) != dims {
+			return 0, fmt.Errorf("kdim: point %d has %d dims, want %d", i, len(p), dims)
+		}
+	}
+	return dims, nil
+}

@@ -1,0 +1,233 @@
+package kdim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randKPoints(seed int64, n, dims int) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		p := make(Point, dims)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestGeomBasics(t *testing.T) {
+	a := Point{0, 0, 0}
+	b := Point{1, 2, 2}
+	if got := Dist(a, b); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Dist = %g, want 3", got)
+	}
+	r := Rect{Min: Point{0, 0, 0}, Max: Point{2, 3, 4}}
+	if got := r.Volume(); got != 24 {
+		t.Errorf("Volume = %g", got)
+	}
+	if got := r.Margin(); got != 9 {
+		t.Errorf("Margin = %g", got)
+	}
+	c := r.Center()
+	for i, want := range []float64{1, 1.5, 2} {
+		if c[i] != want {
+			t.Errorf("Center[%d] = %g", i, c[i])
+		}
+	}
+	if !r.Valid() {
+		t.Error("r must be valid")
+	}
+	bad := Rect{Min: Point{1, 0}, Max: Point{0, 1}}
+	if bad.Valid() {
+		t.Error("inverted rect must be invalid")
+	}
+}
+
+func TestMinMaxDistKDim(t *testing.T) {
+	a := Rect{Min: Point{0, 0, 0}, Max: Point{1, 1, 1}}
+	b := Rect{Min: Point{2, 0, 0}, Max: Point{3, 1, 1}}
+	if got := MinMinDistSq(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MinMinDistSq = %g, want 1", got)
+	}
+	// Farthest corners: dx=3, dy=1, dz=1 -> 11.
+	if got := MaxMaxDistSq(a, b); math.Abs(got-11) > 1e-12 {
+		t.Errorf("MaxMaxDistSq = %g, want 11", got)
+	}
+	// Intersecting boxes.
+	if got := MinMinDistSq(a, a); got != 0 {
+		t.Errorf("self MinMinDistSq = %g", got)
+	}
+}
+
+func TestInequalityOneKDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range []int{3, 4, 5} {
+		for trial := 0; trial < 200; trial++ {
+			mk := func() (Rect, []Point) {
+				pts := make([]Point, 5)
+				var r Rect
+				for i := range pts {
+					p := make(Point, dims)
+					for d := range p {
+						p[d] = rng.Float64() * 10
+					}
+					pts[i] = p
+					r = r.Union(PointRect(p))
+				}
+				return r, pts
+			}
+			ra, pa := mk()
+			rb, pb := mk()
+			mn, mx := MinMinDistSq(ra, rb), MaxMaxDistSq(ra, rb)
+			for _, p := range pa {
+				for _, q := range pb {
+					d := DistSq(p, q)
+					if d < mn-1e-9 || d > mx+1e-9 {
+						t.Fatalf("dims=%d: inequality 1 violated: %g not in [%g, %g]",
+							dims, d, mn, mx)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTreeInvariantsAcrossDims(t *testing.T) {
+	for _, dims := range []int{2, 3, 4, 6} {
+		tr, err := BuildTree(randKPoints(int64(dims), 2000, dims), 0, 0)
+		if err != nil {
+			t.Fatalf("dims=%d: %v", dims, err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("dims=%d: %v", dims, err)
+		}
+		if tr.Len() != 2000 {
+			t.Fatalf("dims=%d: Len = %d", dims, tr.Len())
+		}
+		if tr.Height() < 2 {
+			t.Fatalf("dims=%d: Height = %d", dims, tr.Height())
+		}
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	if _, err := NewTree(0, 0, 0); err == nil {
+		t.Error("dims=0 must fail")
+	}
+	if _, err := NewTree(2, 10, 8); err == nil {
+		t.Error("m > M/2 must fail")
+	}
+	tr, err := NewTree(3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(Point{1, 2}, 0); err == nil {
+		t.Error("dimensionality mismatch must fail")
+	}
+	if err := tr.Insert(Point{1, 2, math.NaN()}, 0); err == nil {
+		t.Error("NaN point must fail")
+	}
+	if _, err := BuildTree([]Point{{1, 2}, {1, 2, 3}}, 0, 0); err == nil {
+		t.Error("mixed dims must fail")
+	}
+	if _, err := BuildTree(nil, 0, 0); err == nil {
+		t.Error("empty build must fail")
+	}
+}
+
+func TestKCPMatchesBruteForceAcrossDims(t *testing.T) {
+	for _, dims := range []int{2, 3, 4, 5} {
+		ps := randKPoints(int64(100+dims), 300, dims)
+		qs := randKPoints(int64(200+dims), 250, dims)
+		ta, err := BuildTree(ps, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := BuildTree(qs, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 10, 50} {
+			got, stats, err := KClosestPairs(ta, tb, k)
+			if err != nil {
+				t.Fatalf("dims=%d k=%d: %v", dims, k, err)
+			}
+			want := BruteForceKCP(ps, qs, k)
+			if len(got) != len(want) {
+				t.Fatalf("dims=%d k=%d: got %d pairs, want %d", dims, k, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+					t.Fatalf("dims=%d k=%d pair %d: dist %.12g, want %.12g",
+						dims, k, i, got[i].Dist, want[i].Dist)
+				}
+			}
+			if stats.NodePairsProcessed <= 0 {
+				t.Errorf("dims=%d: no work recorded", dims)
+			}
+		}
+	}
+}
+
+func TestKCPDifferentHeightsKDim(t *testing.T) {
+	ps := randKPoints(1, 20, 3)
+	qs := randKPoints(2, 3000, 3)
+	ta, err := BuildTree(ps, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := BuildTree(qs, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Height() == tb.Height() {
+		t.Fatal("test requires different heights")
+	}
+	got, _, err := KClosestPairs(ta, tb, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BruteForceKCP(ps, qs, 10)
+	for i := range got {
+		if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("pair %d: dist %.12g, want %.12g", i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestKCPPrunesInHighDims(t *testing.T) {
+	// Well-separated 4-D clouds: almost everything must be pruned.
+	ps := randKPoints(3, 2000, 4)
+	qs := randKPoints(4, 2000, 4)
+	for i := range qs {
+		qs[i][0] += 10
+	}
+	ta, _ := BuildTree(ps, 0, 0)
+	tb, _ := BuildTree(qs, 0, 0)
+	_, stats, err := KClosestPairs(ta, tb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PointPairsCompared > 2000*2000/10 {
+		t.Errorf("compared %d point pairs; pruning ineffective", stats.PointPairsCompared)
+	}
+}
+
+func TestKCPErrors(t *testing.T) {
+	ta, _ := BuildTree(randKPoints(5, 10, 3), 0, 0)
+	tb, _ := BuildTree(randKPoints(6, 10, 4), 0, 0)
+	if _, _, err := KClosestPairs(ta, tb, 1); err == nil {
+		t.Error("dims mismatch must fail")
+	}
+	if _, _, err := KClosestPairs(ta, ta, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	empty, _ := NewTree(3, 0, 0)
+	if _, _, err := KClosestPairs(ta, empty, 1); err == nil {
+		t.Error("empty tree must fail")
+	}
+}

@@ -1,0 +1,285 @@
+package kdim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tree is an in-memory k-dimensional R*-tree: the same ChooseSubtree and
+// split criteria as internal/rtree (least overlap/volume enlargement,
+// margin-driven split axis, minimal-overlap distribution), generalized to
+// k dimensions. Forced reinsertion is omitted — the package demonstrates
+// dimensional generality of the query algorithms, not build tuning.
+type Tree struct {
+	dims       int
+	maxEntries int
+	minEntries int
+	root       *node
+	height     int
+	size       int64
+}
+
+type entry struct {
+	rect  Rect
+	child *node // nil at leaves
+	ref   int64
+}
+
+type node struct {
+	level   int // 0 = leaf
+	entries []entry
+}
+
+func (n *node) mbr() Rect {
+	var r Rect
+	for i := range n.entries {
+		r = r.Union(n.entries[i].rect)
+	}
+	return r
+}
+
+// NewTree creates an empty k-dimensional tree with fan-out M and minimum
+// occupancy m (defaults 21 and 7 when zero, matching the paper's planar
+// setup).
+func NewTree(dims, maxEntries, minEntries int) (*Tree, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("kdim: dims must be positive, got %d", dims)
+	}
+	if maxEntries == 0 {
+		maxEntries = 21
+	}
+	if minEntries == 0 {
+		minEntries = maxEntries / 3
+	}
+	if maxEntries < 4 || minEntries < 2 || minEntries > maxEntries/2 {
+		return nil, fmt.Errorf("kdim: invalid fan-out M=%d m=%d", maxEntries, minEntries)
+	}
+	return &Tree{dims: dims, maxEntries: maxEntries, minEntries: minEntries}, nil
+}
+
+// BuildTree indexes pts (refs = indices) into a fresh tree.
+func BuildTree(pts []Point, maxEntries, minEntries int) (*Tree, error) {
+	dims, err := checkDims(pts)
+	if err != nil {
+		return nil, err
+	}
+	t, err := NewTree(dims, maxEntries, minEntries)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		if err := t.Insert(p, int64(i)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int64 { return t.size }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.height }
+
+// Dims returns the tree's dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Insert adds one point.
+func (t *Tree) Insert(p Point, ref int64) error {
+	if len(p) != t.dims {
+		return fmt.Errorf("kdim: point has %d dims, tree has %d", len(p), t.dims)
+	}
+	e := entry{rect: PointRect(p), ref: ref}
+	if !e.rect.Valid() {
+		return fmt.Errorf("kdim: invalid point %v", p)
+	}
+	if t.root == nil {
+		t.root = &node{level: 0, entries: []entry{e}}
+		t.height = 1
+		t.size = 1
+		return nil
+	}
+	split := t.insertAt(t.root, e)
+	if split != nil {
+		t.root = &node{
+			level: t.height,
+			entries: []entry{
+				{rect: t.root.mbr(), child: t.root},
+				{rect: split.mbr(), child: split},
+			},
+		}
+		t.height++
+	}
+	t.size++
+	return nil
+}
+
+// insertAt descends to the leaf level; it returns the new sibling if n
+// split.
+func (t *Tree) insertAt(n *node, e entry) *node {
+	if n.level == 0 {
+		n.entries = append(n.entries, e)
+	} else {
+		i := t.chooseSubtree(n, e.rect)
+		child := n.entries[i].child
+		split := t.insertAt(child, e)
+		n.entries[i].rect = child.mbr()
+		if split != nil {
+			n.entries = append(n.entries, entry{rect: split.mbr(), child: split})
+		}
+	}
+	if len(n.entries) <= t.maxEntries {
+		return nil
+	}
+	return t.splitNode(n)
+}
+
+func (t *Tree) chooseSubtree(n *node, r Rect) int {
+	if n.level == 1 {
+		// Children are leaves: least overlap enlargement (R* rule).
+		best, bestOv, bestEnl := 0, math.Inf(1), math.Inf(1)
+		for i := range n.entries {
+			enlarged := n.entries[i].rect.Union(r)
+			var ov float64
+			for j := range n.entries {
+				if j == i {
+					continue
+				}
+				ov += enlarged.OverlapVolume(n.entries[j].rect) -
+					n.entries[i].rect.OverlapVolume(n.entries[j].rect)
+			}
+			enl := n.entries[i].rect.Enlargement(r)
+			if ov < bestOv || (ov == bestOv && enl < bestEnl) {
+				best, bestOv, bestEnl = i, ov, enl
+			}
+		}
+		return best
+	}
+	best, bestEnl, bestVol := 0, math.Inf(1), math.Inf(1)
+	for i := range n.entries {
+		enl := n.entries[i].rect.Enlargement(r)
+		vol := n.entries[i].rect.Volume()
+		if enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+			best, bestEnl, bestVol = i, enl, vol
+		}
+	}
+	return best
+}
+
+// splitNode applies the R* split generalized over all k axes.
+func (t *Tree) splitNode(n *node) *node {
+	m := t.minEntries
+	bestAxisSorted := []entry(nil)
+	bestS := math.Inf(1)
+	for axis := 0; axis < t.dims; axis++ {
+		for _, byMax := range []bool{false, true} {
+			sorted := append([]entry(nil), n.entries...)
+			sort.SliceStable(sorted, func(i, j int) bool {
+				if byMax {
+					return sorted[i].rect.Max[axis] < sorted[j].rect.Max[axis]
+				}
+				return sorted[i].rect.Min[axis] < sorted[j].rect.Min[axis]
+			})
+			s := marginSumK(sorted, m)
+			if s < bestS {
+				bestS = s
+				bestAxisSorted = sorted
+			}
+		}
+	}
+	split := bestDistributionK(bestAxisSorted, m)
+	g2 := append([]entry(nil), bestAxisSorted[split:]...)
+	n.entries = append(n.entries[:0], bestAxisSorted[:split]...)
+	return &node{level: n.level, entries: g2}
+}
+
+func marginSumK(sorted []entry, m int) float64 {
+	prefix, suffix := prefixSuffixMBRs(sorted)
+	var s float64
+	for k := 1; k <= len(sorted)-2*m+1; k++ {
+		cut := m - 1 + k
+		s += prefix[cut-1].Margin() + suffix[cut].Margin()
+	}
+	return s
+}
+
+func bestDistributionK(sorted []entry, m int) int {
+	prefix, suffix := prefixSuffixMBRs(sorted)
+	bestCut, bestOv, bestVol := m, math.Inf(1), math.Inf(1)
+	for k := 1; k <= len(sorted)-2*m+1; k++ {
+		cut := m - 1 + k
+		ov := prefix[cut-1].OverlapVolume(suffix[cut])
+		vol := prefix[cut-1].Volume() + suffix[cut].Volume()
+		if ov < bestOv || (ov == bestOv && vol < bestVol) {
+			bestCut, bestOv, bestVol = cut, ov, vol
+		}
+	}
+	return bestCut
+}
+
+func prefixSuffixMBRs(sorted []entry) (prefix, suffix []Rect) {
+	prefix = make([]Rect, len(sorted))
+	suffix = make([]Rect, len(sorted))
+	var acc Rect
+	for i := range sorted {
+		acc = acc.Union(sorted[i].rect)
+		prefix[i] = acc
+	}
+	acc = Rect{}
+	for i := len(sorted) - 1; i >= 0; i-- {
+		acc = acc.Union(sorted[i].rect)
+		suffix[i] = acc
+	}
+	return prefix, suffix
+}
+
+// CheckInvariants validates the tree structure (used by tests).
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		if t.size != 0 || t.height != 0 {
+			return fmt.Errorf("kdim: empty root with size %d height %d", t.size, t.height)
+		}
+		return nil
+	}
+	var count int64
+	if err := t.check(t.root, t.height-1, &count); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("kdim: size %d but %d entries found", t.size, count)
+	}
+	return nil
+}
+
+func (t *Tree) check(n *node, level int, count *int64) error {
+	if n.level != level {
+		return fmt.Errorf("kdim: node level %d, want %d", n.level, level)
+	}
+	if n != t.root && len(n.entries) < t.minEntries {
+		return fmt.Errorf("kdim: underfull node: %d < %d", len(n.entries), t.minEntries)
+	}
+	if len(n.entries) > t.maxEntries {
+		return fmt.Errorf("kdim: overfull node: %d > %d", len(n.entries), t.maxEntries)
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.Valid() {
+			return fmt.Errorf("kdim: invalid rect %v", e.rect)
+		}
+		if n.level == 0 {
+			*count++
+			continue
+		}
+		childMBR := e.child.mbr()
+		for d := range childMBR.Min {
+			if childMBR.Min[d] != e.rect.Min[d] || childMBR.Max[d] != e.rect.Max[d] {
+				return fmt.Errorf("kdim: stale parent rect")
+			}
+		}
+		if err := t.check(e.child, level-1, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

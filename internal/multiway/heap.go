@@ -1,0 +1,131 @@
+package multiway
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// tupleHeap is a bounded max-heap of result tuples ordered by combined
+// distance: the multi-way analogue of the paper's K-heap.
+type tupleHeap struct {
+	items []heapTuple
+}
+
+type heapTuple struct {
+	dist   float64
+	points []geom.Point
+	refs   []int64
+}
+
+func (h *tupleHeap) len() int { return len(h.items) }
+
+// top returns the largest stored distance (call only when non-empty).
+func (h *tupleHeap) top() float64 { return h.items[0].dist }
+
+// offer inserts a candidate tuple, keeping at most k and discarding the
+// farthest. The point and ref slices are copied.
+func (h *tupleHeap) offer(k int, dist float64, pts []geom.Point, refs []int64) {
+	if len(h.items) >= k && dist >= h.items[0].dist {
+		return
+	}
+	ht := heapTuple{
+		dist:   dist,
+		points: append([]geom.Point(nil), pts...),
+		refs:   append([]int64(nil), refs...),
+	}
+	if len(h.items) < k {
+		h.items = append(h.items, ht)
+		i := len(h.items) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if h.items[parent].dist >= h.items[i].dist {
+				break
+			}
+			h.items[parent], h.items[i] = h.items[i], h.items[parent]
+			i = parent
+		}
+		return
+	}
+	h.items[0] = ht
+	n := len(h.items)
+	i := 0
+	for {
+		largest := i
+		if l := 2*i + 1; l < n && h.items[l].dist > h.items[largest].dist {
+			largest = l
+		}
+		if r := 2*i + 2; r < n && h.items[r].dist > h.items[largest].dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}
+
+// sortedTuples returns the stored tuples in ascending distance order.
+func (h *tupleHeap) sortedTuples(geom.Metric) []Tuple {
+	out := make([]Tuple, len(h.items))
+	for i, ht := range h.items {
+		out[i] = Tuple{Points: ht.points, Refs: ht.refs, Dist: ht.dist}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		for t := range out[i].Refs {
+			if out[i].Refs[t] != out[j].Refs[t] {
+				return out[i].Refs[t] < out[j].Refs[t]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// searchHeap is a binary min-heap of node tuples keyed by lower bound.
+type searchHeap struct {
+	items []nodeTuple
+}
+
+func (h *searchHeap) len() int { return len(h.items) }
+
+func (h *searchHeap) push(t nodeTuple) {
+	h.items = append(h.items, t)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[i].bound >= h.items[parent].bound {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *searchHeap) pop() nodeTuple {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = nodeTuple{} // release slice references
+	h.items = h.items[:last]
+	n := len(h.items)
+	i := 0
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && h.items[l].bound < h.items[smallest].bound {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && h.items[r].bound < h.items[smallest].bound {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

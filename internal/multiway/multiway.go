@@ -1,0 +1,350 @@
+// Package multiway implements multi-way closest pair queries — the
+// paper's future-work item (a) (Section 6): given D >= 2 point sets, each
+// in its own R*-tree, find the K tuples (p_1, ..., p_D), one point per
+// set, with the smallest combined distance, extending the multi-way
+// spatial join formulations of Mamoulis & Papadias (SIGMOD 1999) and
+// Papadias, Mamoulis & Theodoridis (PODS 1999) from intersection joins to
+// distance joins.
+//
+// Two query patterns are supported: a Chain scores a tuple by the sum of
+// the distances along consecutive sets (p_1-p_2, ..., p_{D-1}-p_D); a Ring
+// additionally closes the loop with dist(p_D, p_1). The traversal is a
+// best-first search over node tuples, keyed by the sum of the pairwise
+// MINMINDIST lower bounds along the pattern edges; one node of the tuple
+// (the one at the highest level) is expanded per step, which keeps the
+// queue polynomial and handles trees of different heights naturally.
+package multiway
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// Pattern selects how a tuple's combined distance is assembled.
+type Pattern int
+
+const (
+	// Chain scores sum(dist(p_i, p_{i+1})) for i = 1..D-1.
+	Chain Pattern = iota
+	// Ring additionally adds dist(p_D, p_1).
+	Ring
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Chain:
+		return "chain"
+	case Ring:
+		return "ring"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Options configures a multi-way query.
+type Options struct {
+	// Pattern is the query graph shape (default Chain).
+	Pattern Pattern
+	// Metric is the Minkowski metric for every edge (default Euclidean).
+	Metric geom.Metric
+}
+
+// Tuple is one result: a point and record id per data set plus the
+// combined distance under the query pattern.
+type Tuple struct {
+	Points []geom.Point
+	Refs   []int64
+	Dist   float64
+}
+
+// Stats reports the cost of a multi-way query.
+type Stats struct {
+	// IO holds the buffer counter delta of each tree, in input order.
+	IO []storage.IOStats
+	// TuplesProcessed counts node tuples expanded.
+	TuplesProcessed int64
+	// TuplesPruned counts generated node tuples discarded by the bound.
+	TuplesPruned int64
+	// CombinationsScored counts point tuples evaluated at the leaf level.
+	CombinationsScored int64
+	// MaxQueueSize is the tuple heap's high-water mark.
+	MaxQueueSize int
+}
+
+// Accesses returns the total disk accesses over all trees.
+func (s Stats) Accesses() int64 {
+	var total int64
+	for _, io := range s.IO {
+		total += io.Reads
+	}
+	return total
+}
+
+// KClosestTuples finds the K closest tuples across the given trees
+// (one point from each). All trees must be non-empty, and at least two
+// are required. Results arrive in ascending combined distance.
+func KClosestTuples(trees []*rtree.Tree, k int, opts Options) ([]Tuple, Stats, error) {
+	if len(trees) < 2 {
+		return nil, Stats{}, fmt.Errorf("multiway: need at least 2 trees, got %d", len(trees))
+	}
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("multiway: k must be positive, got %d", k)
+	}
+	switch opts.Pattern {
+	case Chain, Ring:
+	default:
+		return nil, Stats{}, fmt.Errorf("multiway: unknown pattern %d", int(opts.Pattern))
+	}
+	for i, t := range trees {
+		if t.Len() == 0 {
+			return nil, Stats{}, fmt.Errorf("multiway: tree %d is empty", i)
+		}
+	}
+	q := &query{
+		trees: trees,
+		k:     k,
+		opts:  opts,
+		kbest: &tupleHeap{},
+	}
+	q.starts = make([]storage.IOStats, len(trees))
+	for i, t := range trees {
+		q.starts[i] = t.Pool().Stats()
+	}
+	if err := q.run(); err != nil {
+		return nil, Stats{}, err
+	}
+	q.stats.IO = make([]storage.IOStats, len(trees))
+	seen := map[*storage.BufferPool]bool{}
+	for i, t := range trees {
+		if seen[t.Pool()] {
+			continue // shared pool: count the delta once
+		}
+		seen[t.Pool()] = true
+		q.stats.IO[i] = t.Pool().Stats().Sub(q.starts[i])
+	}
+	return q.kbest.sortedTuples(q.opts.Metric), q.stats, nil
+}
+
+// query carries one multi-way search.
+type query struct {
+	trees  []*rtree.Tree
+	k      int
+	opts   Options
+	kbest  *tupleHeap
+	stats  Stats
+	starts []storage.IOStats
+}
+
+// nodeTuple is a search state: one node (or, at level 0 with leafEntry >=
+// 0, a concrete point) per tree. bound lower-bounds the combined distance
+// of every point tuple underneath.
+type nodeTuple struct {
+	bound  float64
+	pages  []storage.PageID
+	rects  []geom.Rect
+	levels []int
+}
+
+// edges enumerates the pattern's edge list as index pairs.
+func (q *query) edges() [][2]int {
+	d := len(q.trees)
+	out := make([][2]int, 0, d)
+	for i := 0; i+1 < d; i++ {
+		out = append(out, [2]int{i, i + 1})
+	}
+	if q.opts.Pattern == Ring && d > 2 {
+		out = append(out, [2]int{d - 1, 0})
+	}
+	return out
+}
+
+// boundOf computes the tuple's lower bound: the sum of MINMINDIST along
+// the pattern edges (distances, not keys: distances add, keys do not).
+func (q *query) boundOf(rects []geom.Rect) float64 {
+	var sum float64
+	m := q.opts.Metric
+	for _, e := range q.edges() {
+		sum += m.KeyToDist(m.MinMinKey(rects[e[0]], rects[e[1]]))
+	}
+	return sum
+}
+
+// threshold is the current pruning bound: the K-th best tuple distance.
+func (q *query) threshold() float64 {
+	if q.kbest.len() < q.k {
+		return math.Inf(1)
+	}
+	return q.kbest.top()
+}
+
+func (q *query) run() error {
+	root := nodeTuple{
+		pages:  make([]storage.PageID, len(q.trees)),
+		rects:  make([]geom.Rect, len(q.trees)),
+		levels: make([]int, len(q.trees)),
+	}
+	for i, t := range q.trees {
+		b, err := t.Bounds()
+		if err != nil {
+			return err
+		}
+		root.pages[i] = t.RootID()
+		root.rects[i] = b
+		root.levels[i] = t.Height() - 1
+	}
+	root.bound = q.boundOf(root.rects)
+
+	h := &searchHeap{}
+	h.push(root)
+	for h.len() > 0 {
+		if h.len() > q.stats.MaxQueueSize {
+			q.stats.MaxQueueSize = h.len()
+		}
+		cur := h.pop()
+		if cur.bound > q.threshold() {
+			break // heap is ordered by bound: nothing better remains
+		}
+		if err := q.process(cur, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// process expands one node tuple: if every component is a leaf, its point
+// combinations are scored; otherwise the highest-level component is opened
+// and one child tuple per entry is enqueued.
+func (q *query) process(cur nodeTuple, h *searchHeap) error {
+	expand := -1
+	for i, lvl := range cur.levels {
+		if lvl > 0 && (expand == -1 || lvl > cur.levels[expand]) {
+			expand = i
+		}
+	}
+	q.stats.TuplesProcessed++
+
+	if expand == -1 {
+		return q.scanLeaves(cur)
+	}
+	n, err := q.trees[expand].ReadNode(cur.pages[expand])
+	if err != nil {
+		return err
+	}
+	T := q.threshold()
+	for i := range n.Entries {
+		child := nodeTuple{
+			pages:  append([]storage.PageID(nil), cur.pages...),
+			rects:  append([]geom.Rect(nil), cur.rects...),
+			levels: append([]int(nil), cur.levels...),
+		}
+		child.pages[expand] = n.Entries[i].Child()
+		child.rects[expand] = n.Entries[i].Rect
+		child.levels[expand] = n.Level - 1
+		child.bound = q.boundOf(child.rects)
+		if child.bound > T {
+			q.stats.TuplesPruned++
+			continue
+		}
+		h.push(child)
+	}
+	return nil
+}
+
+// scanLeaves enumerates the cross product of the leaf entries, pruning
+// partial tuples whose accumulated chain distance already exceeds the
+// threshold.
+func (q *query) scanLeaves(cur nodeTuple) error {
+	nodes := make([]*rtree.Node, len(q.trees))
+	for i, t := range q.trees {
+		n, err := t.ReadNode(cur.pages[i])
+		if err != nil {
+			return err
+		}
+		nodes[i] = n
+	}
+	d := len(nodes)
+	pts := make([]geom.Point, d)
+	refs := make([]int64, d)
+	m := q.opts.Metric
+	ring := q.opts.Pattern == Ring && d > 2
+
+	var rec func(i int, partial float64)
+	rec = func(i int, partial float64) {
+		if partial > q.threshold() {
+			return
+		}
+		if i == d {
+			total := partial
+			if ring {
+				total += m.Dist(pts[d-1], pts[0])
+			}
+			q.stats.CombinationsScored++
+			if total <= q.threshold() {
+				q.kbest.offer(q.k, total, pts, refs)
+			}
+			return
+		}
+		for _, e := range nodes[i].Entries {
+			pts[i] = e.Rect.Min
+			refs[i] = e.Ref
+			next := partial
+			if i > 0 {
+				next += m.Dist(pts[i-1], pts[i])
+			}
+			rec(i+1, next)
+		}
+	}
+	rec(0, 0)
+	return nil
+}
+
+// BruteForce computes the K closest tuples over in-memory point sets by
+// full enumeration: the correctness oracle for tests. Refs are the point
+// indices within each set.
+func BruteForce(sets [][]geom.Point, k int, opts Options) ([]Tuple, error) {
+	if len(sets) < 2 {
+		return nil, errors.New("multiway: need at least 2 sets")
+	}
+	if k <= 0 {
+		return nil, errors.New("multiway: k must be positive")
+	}
+	for _, s := range sets {
+		if len(s) == 0 {
+			return nil, errors.New("multiway: empty set")
+		}
+	}
+	d := len(sets)
+	m := opts.Metric
+	ring := opts.Pattern == Ring && d > 2
+	h := &tupleHeap{}
+	pts := make([]geom.Point, d)
+	refs := make([]int64, d)
+	var rec func(i int, partial float64)
+	rec = func(i int, partial float64) {
+		if i == d {
+			total := partial
+			if ring {
+				total += m.Dist(pts[d-1], pts[0])
+			}
+			h.offer(k, total, pts, refs)
+			return
+		}
+		for t, p := range sets[i] {
+			pts[i] = p
+			refs[i] = int64(t)
+			next := partial
+			if i > 0 {
+				next += m.Dist(pts[i-1], pts[i])
+			}
+			rec(i+1, next)
+		}
+	}
+	rec(0, 0)
+	return h.sortedTuples(m), nil
+}

@@ -1,0 +1,247 @@
+package multiway
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+func buildTree(t testing.TB, pts []geom.Point, pageSize int) *rtree.Tree {
+	t.Helper()
+	pool := storage.NewBufferPool(storage.NewMemFile(pageSize), 0)
+	tr, err := rtree.New(pool, rtree.Config{PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := tr.InsertPoint(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func uniformPoints(seed int64, n int, x0 float64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: x0 + rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+func checkTuplesMatch(t *testing.T, got, want []Tuple, sets [][]geom.Point, opts Options) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d tuples, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("tuple %d: dist %.12g, want %.12g", i, got[i].Dist, want[i].Dist)
+		}
+		// Refs must point to the reported points, and the reported distance
+		// must be the true pattern distance.
+		var total float64
+		for d := range got[i].Points {
+			if !sets[d][got[i].Refs[d]].Equal(got[i].Points[d]) {
+				t.Fatalf("tuple %d set %d: ref mismatch", i, d)
+			}
+			if d > 0 {
+				total += opts.Metric.Dist(got[i].Points[d-1], got[i].Points[d])
+			}
+		}
+		if opts.Pattern == Ring && len(got[i].Points) > 2 {
+			total += opts.Metric.Dist(got[i].Points[len(got[i].Points)-1], got[i].Points[0])
+		}
+		if math.Abs(total-got[i].Dist) > 1e-9 {
+			t.Fatalf("tuple %d: inconsistent distance %.12g vs %.12g", i, got[i].Dist, total)
+		}
+	}
+}
+
+func TestThreeWayChainMatchesBruteForce(t *testing.T) {
+	sets := [][]geom.Point{
+		uniformPoints(1, 60, 0),
+		uniformPoints(2, 50, 0.3),
+		uniformPoints(3, 40, 0.6),
+	}
+	trees := make([]*rtree.Tree, len(sets))
+	for i, s := range sets {
+		trees[i] = buildTree(t, s, 256)
+	}
+	for _, k := range []int{1, 5, 20} {
+		opts := Options{Pattern: Chain}
+		got, stats, err := KClosestTuples(trees, k, opts)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want, err := BruteForce(sets, k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTuplesMatch(t, got, want, sets, opts)
+		if stats.Accesses() <= 0 {
+			t.Errorf("k=%d: no accesses recorded", k)
+		}
+	}
+}
+
+func TestRingPattern(t *testing.T) {
+	sets := [][]geom.Point{
+		uniformPoints(4, 40, 0),
+		uniformPoints(5, 40, 0.2),
+		uniformPoints(6, 40, 0.4),
+	}
+	trees := make([]*rtree.Tree, len(sets))
+	for i, s := range sets {
+		trees[i] = buildTree(t, s, 256)
+	}
+	opts := Options{Pattern: Ring}
+	got, _, err := KClosestTuples(trees, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(sets, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTuplesMatch(t, got, want, sets, opts)
+	// A ring score differs from the chain score on the same data.
+	chain, _, err := KClosestTuples(trees, 1, Options{Pattern: Chain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(chain[0].Dist-got[0].Dist) < 1e-12 {
+		t.Error("ring and chain scores should differ on random data")
+	}
+}
+
+func TestTwoWayMatchesPairwise(t *testing.T) {
+	// With D = 2 a chain multi-way query degenerates to the ordinary K-CPQ.
+	ps := uniformPoints(7, 120, 0)
+	qs := uniformPoints(8, 100, 0.5)
+	trees := []*rtree.Tree{buildTree(t, ps, 256), buildTree(t, qs, 256)}
+	got, _, err := KClosestTuples(trees, 15, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce([][]geom.Point{ps, qs}, 15, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTuplesMatch(t, got, want, [][]geom.Point{ps, qs}, Options{})
+}
+
+func TestFourWayChain(t *testing.T) {
+	sets := [][]geom.Point{
+		uniformPoints(9, 25, 0),
+		uniformPoints(10, 25, 0.25),
+		uniformPoints(11, 25, 0.5),
+		uniformPoints(12, 25, 0.75),
+	}
+	trees := make([]*rtree.Tree, len(sets))
+	for i, s := range sets {
+		trees[i] = buildTree(t, s, 256)
+	}
+	opts := Options{Pattern: Chain}
+	got, _, err := KClosestTuples(trees, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(sets, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTuplesMatch(t, got, want, sets, opts)
+}
+
+func TestMultiwayDifferentHeights(t *testing.T) {
+	sets := [][]geom.Point{
+		uniformPoints(13, 15, 0),   // tiny tree
+		uniformPoints(14, 2000, 0), // tall tree
+		uniformPoints(15, 200, 0),
+	}
+	trees := make([]*rtree.Tree, len(sets))
+	for i, s := range sets {
+		trees[i] = buildTree(t, s, 256)
+	}
+	opts := Options{Pattern: Chain}
+	got, _, err := KClosestTuples(trees, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(sets, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTuplesMatch(t, got, want, sets, opts)
+}
+
+func TestMultiwayUnderL1(t *testing.T) {
+	sets := [][]geom.Point{
+		uniformPoints(16, 50, 0),
+		uniformPoints(17, 50, 0.3),
+		uniformPoints(18, 50, 0.6),
+	}
+	trees := make([]*rtree.Tree, len(sets))
+	for i, s := range sets {
+		trees[i] = buildTree(t, s, 256)
+	}
+	opts := Options{Pattern: Chain, Metric: geom.L1()}
+	got, _, err := KClosestTuples(trees, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(sets, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTuplesMatch(t, got, want, sets, opts)
+}
+
+func TestMultiwayErrors(t *testing.T) {
+	tr := buildTree(t, uniformPoints(19, 10, 0), 256)
+	empty := buildTree(t, nil, 256)
+	if _, _, err := KClosestTuples([]*rtree.Tree{tr}, 1, Options{}); err == nil {
+		t.Error("single tree must fail")
+	}
+	if _, _, err := KClosestTuples([]*rtree.Tree{tr, tr}, 0, Options{}); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, _, err := KClosestTuples([]*rtree.Tree{tr, empty}, 1, Options{}); err == nil {
+		t.Error("empty tree must fail")
+	}
+	if _, _, err := KClosestTuples([]*rtree.Tree{tr, tr}, 1, Options{Pattern: Pattern(7)}); err == nil {
+		t.Error("bad pattern must fail")
+	}
+	if _, err := BruteForce(nil, 1, Options{}); err == nil {
+		t.Error("brute force with no sets must fail")
+	}
+}
+
+func TestMultiwayPrunes(t *testing.T) {
+	// On well-separated clusters the search must not touch every tuple.
+	sets := [][]geom.Point{
+		uniformPoints(20, 1000, 0),
+		uniformPoints(21, 1000, 0),
+		uniformPoints(22, 1000, 0),
+	}
+	trees := make([]*rtree.Tree, len(sets))
+	for i, s := range sets {
+		trees[i] = buildTree(t, s, 1024)
+	}
+	_, stats, err := KClosestTuples(trees, 1, Options{Pattern: Chain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CombinationsScored >= 1000*1000 {
+		t.Errorf("scored %d combinations; pruning ineffective", stats.CombinationsScored)
+	}
+	if stats.TuplesPruned == 0 {
+		t.Error("no tuples pruned")
+	}
+}

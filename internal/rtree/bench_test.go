@@ -1,0 +1,80 @@
+package rtree
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	pts := randPoints(1, b.N)
+	pool := storage.NewBufferPool(storage.NewMemFile(1024), 512)
+	tr, err := New(pool, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.InsertPoint(pts[i], int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkLoadSTR(b *testing.B) {
+	pts := randPoints(2, 20000)
+	items := itemsFromPoints(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := storage.NewBufferPool(storage.NewMemFile(1024), 512)
+		tr, err := New(pool, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.BulkLoad(items, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeSearch(b *testing.B) {
+	pool := storage.NewBufferPool(storage.NewMemFile(1024), 4096)
+	tr, err := New(pool, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, p := range randPoints(3, 20000) {
+		if err := tr.InsertPoint(p, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	query := geom.Rect{Min: geom.Point{X: 0.4, Y: 0.4}, Max: geom.Point{X: 0.6, Y: 0.6}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := tr.Search(query, func(Item) bool { count++; return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNearestNeighbors(b *testing.B) {
+	pool := storage.NewBufferPool(storage.NewMemFile(1024), 4096)
+	tr, err := New(pool, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, p := range randPoints(4, 20000) {
+		if err := tr.InsertPoint(p, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := geom.Point{X: float64(i%100) / 100, Y: float64(i%97) / 97}
+		if _, err := tr.NearestNeighbors(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// BulkLoad fills an empty tree with items using Sort-Tile-Recursive (STR)
+// packing (Leutenegger, Lopez, Edgington; ICDE 1997). Nodes are packed to
+// fill * MaxEntries entries (fill in (0, 1]); packed trees have much lower
+// node overlap than insertion-built trees, which is one of the build
+// ablations the benchmarks explore.
+func (t *Tree) BulkLoad(items []Item, fill float64) error {
+	if t.size != 0 || t.root != storage.InvalidPageID {
+		return errors.New("rtree: BulkLoad requires an empty tree")
+	}
+	if fill <= 0 || fill > 1 {
+		return fmt.Errorf("rtree: fill factor %g out of (0, 1]", fill)
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	for i := range items {
+		if !items[i].Rect.Valid() {
+			return fmt.Errorf("rtree: invalid rectangle %v at item %d", items[i].Rect, i)
+		}
+	}
+	capacity := int(fill * float64(t.cfg.MaxEntries))
+	if capacity < t.cfg.MinEntries {
+		capacity = t.cfg.MinEntries
+	}
+
+	entries := make([]Entry, len(items))
+	for i, it := range items {
+		entries[i] = Entry{Rect: it.Rect, Ref: it.Ref}
+	}
+	level := 0
+	for {
+		nodes, err := t.packLevel(entries, level, capacity)
+		if err != nil {
+			return err
+		}
+		if len(nodes) == 1 {
+			t.root = nodes[0].ID
+			t.height = level + 1
+			break
+		}
+		next := make([]Entry, len(nodes))
+		for i, n := range nodes {
+			next[i] = Entry{Rect: n.MBR(), Ref: int64(n.ID)}
+		}
+		entries = next
+		level++
+	}
+	t.size = int64(len(items))
+	return t.writeMeta()
+}
+
+// packLevel tiles entries into nodes using STR: sort by center X, cut into
+// vertical slabs, sort each slab by center Y, chop into nodes. Node sizes
+// are pre-computed as an even distribution so that every node of a
+// multi-node level respects the minimum occupancy m (a plain
+// chop-into-runs-of-capacity leaves underfull tail nodes). Every produced
+// node is written to its page.
+func (t *Tree) packLevel(entries []Entry, level, capacity int) ([]*Node, error) {
+	n := len(entries)
+	sizes := packSizes(n, capacity, t.cfg.MinEntries, t.cfg.MaxEntries)
+	numNodes := len(sizes)
+	slabs := int(math.Ceil(math.Sqrt(float64(numNodes))))
+	nodesPerSlab := (numNodes + slabs - 1) / slabs
+
+	sorted := append([]Entry(nil), entries...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		ci, cj := sorted[i].Rect.Center(), sorted[j].Rect.Center()
+		if ci.X != cj.X {
+			return ci.X < cj.X
+		}
+		return ci.Y < cj.Y
+	})
+
+	out := make([]*Node, 0, numNodes)
+	next := 0 // next unconsumed entry in sorted
+	for slabStart := 0; slabStart < numNodes; slabStart += nodesPerSlab {
+		slabEnd := slabStart + nodesPerSlab
+		if slabEnd > numNodes {
+			slabEnd = numNodes
+		}
+		slabSize := 0
+		for _, s := range sizes[slabStart:slabEnd] {
+			slabSize += s
+		}
+		slab := sorted[next : next+slabSize]
+		next += slabSize
+		sort.SliceStable(slab, func(i, j int) bool {
+			ci, cj := slab[i].Rect.Center(), slab[j].Rect.Center()
+			if ci.Y != cj.Y {
+				return ci.Y < cj.Y
+			}
+			return ci.X < cj.X
+		})
+		off := 0
+		for _, s := range sizes[slabStart:slabEnd] {
+			node, err := t.allocNode(level)
+			if err != nil {
+				return nil, err
+			}
+			node.Entries = append([]Entry(nil), slab[off:off+s]...)
+			off += s
+			if err := t.writeNode(node); err != nil {
+				return nil, err
+			}
+			out = append(out, node)
+		}
+	}
+	return out, nil
+}
+
+// packSizes distributes n entries over nodes such that each node holds
+// between m and M entries (a single node may hold fewer than m: it becomes
+// the root), targeting the requested capacity.
+func packSizes(n, capacity, m, M int) []int {
+	if n <= capacity {
+		return []int{n}
+	}
+	numNodes := (n + capacity - 1) / capacity
+	// Shrinking the node count raises per-node occupancy above m; a level
+	// with fewer than 2m entries cannot form two legal nodes and stays one
+	// (possibly over-capacity but never over M, because n <= 2m-1 <= M).
+	if maxNodes := n / m; numNodes > maxNodes {
+		numNodes = maxNodes
+	}
+	if numNodes <= 1 {
+		return []int{n}
+	}
+	base := n / numNodes
+	extra := n % numNodes
+	sizes := make([]int, numNodes)
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return sizes
+}

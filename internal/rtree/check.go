@@ -1,0 +1,107 @@
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// CheckInvariants validates the structural invariants of the tree and
+// returns the first violation found. It is used by the test suite and by
+// tooling; it reads every node, so it disturbs buffer statistics.
+//
+// Checked invariants:
+//   - the root sits at level Height-1 and every child is one level below
+//     its parent (the tree is height-balanced with all leaves at level 0);
+//   - every internal entry's rectangle is exactly the MBR of its child;
+//   - every node except the root holds between MinEntries and MaxEntries
+//     entries; the root holds at least one (two or more when internal);
+//   - no node page is referenced twice;
+//   - the number of data entries equals Len().
+func (t *Tree) CheckInvariants() error {
+	if t.root == storage.InvalidPageID {
+		if t.height != 0 || t.size != 0 {
+			return fmt.Errorf("rtree: empty root but height=%d size=%d", t.height, t.size)
+		}
+		return nil
+	}
+	seen := make(map[storage.PageID]bool)
+	var dataCount int64
+	if err := t.checkNode(t.root, t.height-1, seen, &dataCount); err != nil {
+		return err
+	}
+	if dataCount != t.size {
+		return fmt.Errorf("rtree: size %d but %d data entries found", t.size, dataCount)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(id storage.PageID, level int, seen map[storage.PageID]bool, dataCount *int64) error {
+	if seen[id] {
+		return fmt.Errorf("rtree: page %d referenced twice", id)
+	}
+	seen[id] = true
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Level != level {
+		return fmt.Errorf("rtree: page %d at level %d, expected %d", id, n.Level, level)
+	}
+	isRoot := id == t.root
+	if isRoot {
+		if len(n.Entries) < 1 {
+			return fmt.Errorf("rtree: root page %d is empty", id)
+		}
+		if !n.IsLeaf() && len(n.Entries) < 2 {
+			return fmt.Errorf("rtree: internal root page %d has %d entries", id, len(n.Entries))
+		}
+	} else if len(n.Entries) < t.cfg.MinEntries {
+		return fmt.Errorf("rtree: page %d underfull: %d < %d", id, len(n.Entries), t.cfg.MinEntries)
+	}
+	if len(n.Entries) > t.cfg.MaxEntries {
+		return fmt.Errorf("rtree: page %d overfull: %d > %d", id, len(n.Entries), t.cfg.MaxEntries)
+	}
+	for i := range n.Entries {
+		e := n.Entries[i]
+		if !e.Rect.Valid() {
+			return fmt.Errorf("rtree: page %d entry %d has invalid rect %v", id, i, e.Rect)
+		}
+		if n.IsLeaf() {
+			*dataCount++
+			continue
+		}
+		child, err := t.ReadNode(e.Child())
+		if err != nil {
+			return err
+		}
+		if !child.MBR().Equal(e.Rect) {
+			return fmt.Errorf("rtree: page %d entry %d rect %v != child %d MBR %v",
+				id, i, e.Rect, child.ID, child.MBR())
+		}
+		if err := t.checkNode(e.Child(), level-1, seen, dataCount); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NodeCount returns the number of nodes per level, leaf level first. It is
+// used by tests and by the benchmark harness to report tree shapes.
+func (t *Tree) NodeCount() ([]int, error) {
+	if t.height == 0 {
+		return nil, nil
+	}
+	counts := make([]int, t.height)
+	err := t.Walk(func(n *Node) error {
+		if n.Level < 0 || n.Level >= len(counts) {
+			return fmt.Errorf("rtree: node level %d out of range", n.Level)
+		}
+		counts[n.Level]++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
+}

@@ -1,0 +1,251 @@
+package rtree
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestDeleteSimple(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	pts := randPoints(10, 50)
+	insertAll(t, tr, pts)
+	if err := tr.DeletePoint(pts[7], 7); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 49 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	found := false
+	if err := tr.Search(pts[7].Rect(), func(it Item) bool {
+		if it.Ref == 7 {
+			found = true
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("deleted entry still present")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteNotFound(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	pts := randPoints(11, 20)
+	insertAll(t, tr, pts)
+	// Wrong ref.
+	if err := tr.DeletePoint(pts[0], 999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	// Absent point.
+	if err := tr.DeletePoint(geom.Point{X: -5, Y: -5}, 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	// Empty tree.
+	empty := newTestTree(t, Config{})
+	if err := empty.DeletePoint(pts[0], 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	pts := randPoints(12, 600)
+	insertAll(t, tr, pts)
+	perm := rand.New(rand.NewSource(13)).Perm(len(pts))
+	for step, i := range perm {
+		if err := tr.DeletePoint(pts[i], int64(i)); err != nil {
+			t.Fatalf("delete %d (step %d): %v", i, step, err)
+		}
+		if step%50 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if tr.Height() != 0 {
+		t.Fatalf("Height = %d after deleting all", tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteHalfThenQuery(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	pts := randPoints(14, 1000)
+	insertAll(t, tr, pts)
+	for i := 0; i < 500; i++ {
+		if err := tr.DeletePoint(pts[i], int64(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every survivor must be findable, every deleted point gone.
+	seen := map[int64]bool{}
+	if err := tr.All(func(it Item) bool { seen[it.Ref] = true; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 500 {
+		t.Fatalf("%d survivors, want 500", len(seen))
+	}
+	for i := 0; i < 500; i++ {
+		if seen[int64(i)] {
+			t.Fatalf("deleted ref %d still present", i)
+		}
+	}
+	for i := 500; i < 1000; i++ {
+		if !seen[int64(i)] {
+			t.Fatalf("surviving ref %d missing", i)
+		}
+	}
+}
+
+func TestDeleteReusesPages(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	pts := randPoints(15, 800)
+	insertAll(t, tr, pts)
+	for i := range pts {
+		if err := tr.DeletePoint(pts[i], int64(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	pagesAfterDrain := tr.Pool().File().NumPages()
+	// Rebuilding the same content must recycle freed pages rather than
+	// growing the file substantially.
+	insertAll(t, tr, pts)
+	if grown := tr.Pool().File().NumPages() - pagesAfterDrain; grown > 5 {
+		t.Errorf("file grew by %d pages on rebuild; free list not reused", grown)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDeleteInterleaved(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	rng := rand.New(rand.NewSource(16))
+	type rec struct {
+		p   geom.Point
+		ref int64
+	}
+	var live []rec
+	nextRef := int64(0)
+	for op := 0; op < 4000; op++ {
+		if len(live) == 0 || rng.Intn(3) != 0 {
+			p := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+			if err := tr.InsertPoint(p, nextRef); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, rec{p, nextRef})
+			nextRef++
+		} else {
+			i := rng.Intn(len(live))
+			if err := tr.DeletePoint(live[i].p, live[i].ref); err != nil {
+				t.Fatalf("op %d: delete: %v", op, err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if op%500 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if tr.Len() != int64(len(live)) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(live))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteDeepCondensation(t *testing.T) {
+	// Small fan-out plus clustered deletions force whole subtrees to
+	// dissolve, exercising orphan reinsertion at internal levels, the
+	// grow-root path, and root shrinking.
+	cfg := Config{PageSize: 256} // M=6, m=2
+	tr := newTestTree(t, cfg)
+	pts := randPoints(60, 4000)
+	insertAll(t, tr, pts)
+	if tr.Height() < 4 {
+		t.Fatalf("height %d too small to exercise deep condensation", tr.Height())
+	}
+	// Delete in spatial order (left to right): whole regions empty out,
+	// which keeps dissolving nodes on one flank of the tree.
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pts[order[a]].X < pts[order[b]].X })
+	for step, i := range order {
+		if err := tr.DeletePoint(pts[i], int64(i)); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if step%250 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("tree not empty: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAlternatingClusters(t *testing.T) {
+	// Two dense clusters; deleting one entirely forces its subtree to
+	// collapse while the other survives intact.
+	cfg := Config{PageSize: 256}
+	tr := newTestTree(t, cfg)
+	rng := rand.New(rand.NewSource(61))
+	var left, right []geom.Point
+	for i := 0; i < 900; i++ {
+		left = append(left, geom.Point{X: rng.Float64() * 0.1, Y: rng.Float64()})
+		right = append(right, geom.Point{X: 10 + rng.Float64()*0.1, Y: rng.Float64()})
+	}
+	for i, p := range left {
+		if err := tr.InsertPoint(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range right {
+		if err := tr.InsertPoint(p, int64(10000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range left {
+		if err := tr.DeletePoint(p, int64(i)); err != nil {
+			t.Fatalf("delete left %d: %v", i, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 900 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	count := 0
+	if err := tr.All(func(Item) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 900 {
+		t.Fatalf("survivors = %d", count)
+	}
+}

@@ -1,0 +1,139 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// buildRectTree indexes small rectangles (not points) for the join tests.
+func buildRectTree(t *testing.T, seed int64, n int, size float64) (*Tree, []geom.Rect) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pool := storage.NewBufferPool(storage.NewMemFile(512), 256)
+	tr, err := New(pool, Config{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects := make([]geom.Rect, n)
+	for i := range rects {
+		x, y := rng.Float64(), rng.Float64()
+		rects[i] = geom.Rect{
+			Min: geom.Point{X: x, Y: y},
+			Max: geom.Point{X: x + rng.Float64()*size, Y: y + rng.Float64()*size},
+		}
+		if err := tr.Insert(rects[i], int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, rects
+}
+
+func TestJoinIntersectingMatchesBruteForce(t *testing.T) {
+	ta, ra := buildRectTree(t, 1, 400, 0.05)
+	tb, rb := buildRectTree(t, 2, 350, 0.05)
+	got := map[[2]int64]bool{}
+	err := JoinIntersecting(ta, tb, func(p JoinPair) bool {
+		key := [2]int64{p.A.Ref, p.B.Ref}
+		if got[key] {
+			t.Fatalf("pair %v reported twice", key)
+		}
+		got[key] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := range ra {
+		for j := range rb {
+			if ra[i].Intersects(rb[j]) {
+				want++
+				if !got[[2]int64{int64(i), int64(j)}] {
+					t.Fatalf("missing intersecting pair (%d, %d)", i, j)
+				}
+			}
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("got %d pairs, want %d", len(got), want)
+	}
+}
+
+func TestJoinIntersectingDifferentHeights(t *testing.T) {
+	ta, ra := buildRectTree(t, 3, 15, 0.2)
+	tb, rb := buildRectTree(t, 4, 3000, 0.01)
+	if ta.Height() == tb.Height() {
+		t.Fatal("test requires different heights")
+	}
+	count, err := CountIntersecting(ta, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := range ra {
+		for j := range rb {
+			if ra[i].Intersects(rb[j]) {
+				want++
+			}
+		}
+	}
+	if count != want {
+		t.Fatalf("count = %d, want %d", count, want)
+	}
+	// Swapped orientation.
+	count2, err := CountIntersecting(tb, ta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count2 != want {
+		t.Fatalf("swapped count = %d, want %d", count2, want)
+	}
+}
+
+func TestJoinIntersectingEarlyStop(t *testing.T) {
+	ta, _ := buildRectTree(t, 5, 500, 0.1)
+	tb, _ := buildRectTree(t, 6, 500, 0.1)
+	n := 0
+	err := JoinIntersecting(ta, tb, func(JoinPair) bool {
+		n++
+		return n < 7
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("visited %d pairs, want early stop at 7", n)
+	}
+}
+
+func TestJoinIntersectingDisjointAndEmpty(t *testing.T) {
+	ta, _ := buildRectTree(t, 7, 100, 0.05)
+	// Shifted far away: no intersections, constant cost.
+	pool := storage.NewBufferPool(storage.NewMemFile(512), 256)
+	tb, err := New(pool, Config{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		x, y := 100+rng.Float64(), rng.Float64()
+		r := geom.Rect{Min: geom.Point{X: x, Y: y}, Max: geom.Point{X: x + 0.01, Y: y + 0.01}}
+		if err := tb.Insert(r, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count, err := CountIntersecting(ta, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("disjoint join found %d pairs", count)
+	}
+	empty := newTestTree(t, Config{})
+	if count, err := CountIntersecting(ta, empty); err != nil || count != 0 {
+		t.Fatalf("empty join: count=%d err=%v", count, err)
+	}
+}

@@ -1,0 +1,107 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNearestNeighborsMatchesBruteForce(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	pts := randPoints(30, 1500)
+	insertAll(t, tr, pts)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		q := geom.Point{X: rng.Float64() * 1.4, Y: rng.Float64() * 1.4}
+		k := 1 + rng.Intn(20)
+		got, err := tr.NearestNeighbors(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k {
+			t.Fatalf("got %d neighbors, want %d", len(got), k)
+		}
+		// Brute force.
+		dists := make([]float64, len(pts))
+		for i, p := range pts {
+			dists[i] = q.Dist(p)
+		}
+		sort.Float64s(dists)
+		for i := 0; i < k; i++ {
+			if math.Abs(got[i].Dist-dists[i]) > 1e-9 {
+				t.Fatalf("trial %d neighbor %d: dist %g, want %g",
+					trial, i, got[i].Dist, dists[i])
+			}
+		}
+		// Ascending order.
+		for i := 1; i < k; i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Fatalf("results not sorted: %g before %g", got[i-1].Dist, got[i].Dist)
+			}
+		}
+	}
+}
+
+func TestNearestNeighborSingle(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	insertAll(t, tr, []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}})
+	nn, err := tr.NearestNeighbor(geom.Point{X: 0.9, Y: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.Ref != 1 {
+		t.Fatalf("nearest ref = %d, want 1", nn.Ref)
+	}
+}
+
+func TestNearestNeighborEmptyTree(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	if _, err := tr.NearestNeighbor(geom.Point{X: 0, Y: 0}); err != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	nn, err := tr.NearestNeighbors(geom.Point{X: 0, Y: 0}, 5)
+	if err != nil || nn != nil {
+		t.Fatalf("empty tree: nn=%v err=%v", nn, err)
+	}
+}
+
+func TestNearestNeighborsKLargerThanTree(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	insertAll(t, tr, randPoints(32, 10))
+	nn, err := tr.NearestNeighbors(geom.Point{X: 0.5, Y: 0.5}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 10 {
+		t.Fatalf("got %d, want all 10", len(nn))
+	}
+}
+
+func TestNearestNeighborsBadK(t *testing.T) {
+	tr := newTestTree(t, Config{})
+	if _, err := tr.NearestNeighbors(geom.Point{X: 0, Y: 0}, 0); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	if _, err := tr.NearestNeighbors(geom.Point{X: 0, Y: 0}, -3); err == nil {
+		t.Fatal("negative k must be rejected")
+	}
+}
+
+func TestNearestNeighborsPrunes(t *testing.T) {
+	// Best-first NN on a big tree must touch far fewer pages than a scan.
+	tr := newTestTree(t, Config{})
+	insertAll(t, tr, randPoints(33, 8000))
+	total := tr.Pool().File().NumPages()
+	tr.Pool().Clear()
+	tr.Pool().ResetStats()
+	if _, err := tr.NearestNeighbors(geom.Point{X: 0.5, Y: 0.5}, 3); err != nil {
+		t.Fatal(err)
+	}
+	reads := tr.Pool().Stats().Reads
+	if reads*10 > total {
+		t.Errorf("NN read %d of %d pages; pruning ineffective", reads, total)
+	}
+}

@@ -1,0 +1,167 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// TestInsertSearchProperty: any multiset of points inserted into the tree
+// is exactly recoverable by range search, for testing/quick-generated
+// inputs and several node capacities.
+func TestInsertSearchProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	f := func(raw []struct{ X, Y float64 }, pageSel uint8) bool {
+		pageSize := []int{256, 512, 1024}[int(pageSel)%3]
+		pool := storage.NewBufferPool(storage.NewMemFile(pageSize), 64)
+		tr, err := New(pool, Config{PageSize: pageSize})
+		if err != nil {
+			return false
+		}
+		want := map[int64]geom.Point{}
+		for i, r := range raw {
+			// Clamp quick's unbounded floats into a sane range.
+			p := geom.Point{
+				X: clampFinite(r.X),
+				Y: clampFinite(r.Y),
+			}
+			if err := tr.InsertPoint(p, int64(i)); err != nil {
+				return false
+			}
+			want[int64(i)] = p
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Logf("invariant: %v", err)
+			return false
+		}
+		got := map[int64]geom.Point{}
+		if err := tr.All(func(it Item) bool {
+			got[it.Ref] = it.Rect.Min
+			return true
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for ref, p := range want {
+			if !got[ref].Equal(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampFinite(v float64) float64 {
+	switch {
+	case v != v: // NaN
+		return 0
+	case v > 1e9:
+		return 1e9
+	case v < -1e9:
+		return -1e9
+	default:
+		return v
+	}
+}
+
+// TestDeletePreservesInvariantsProperty: after any interleaving of inserts
+// and deletes the tree invariants hold and the content matches a model.
+func TestDeletePreservesInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pool := storage.NewBufferPool(storage.NewMemFile(512), 64)
+		tr, err := New(pool, Config{PageSize: 512})
+		if err != nil {
+			return false
+		}
+		model := map[int64]geom.Point{}
+		nextRef := int64(0)
+		for op := 0; op < 300; op++ {
+			if len(model) == 0 || rng.Intn(5) < 3 {
+				p := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+				if err := tr.InsertPoint(p, nextRef); err != nil {
+					return false
+				}
+				model[nextRef] = p
+				nextRef++
+			} else {
+				// Delete a random live ref.
+				var ref int64
+				for r := range model {
+					ref = r
+					break
+				}
+				if err := tr.DeletePoint(model[ref], ref); err != nil {
+					return false
+				}
+				delete(model, ref)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if tr.Len() != int64(len(model)) {
+			return false
+		}
+		count := 0
+		ok := true
+		tr.All(func(it Item) bool {
+			count++
+			if p, live := model[it.Ref]; !live || !p.Equal(it.Rect.Min) {
+				ok = false
+			}
+			return true
+		})
+		return ok && count == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNNConsistentWithSearchProperty: the nearest neighbor returned must
+// actually be the closest indexed point (verified via All).
+func TestNNConsistentWithSearchProperty(t *testing.T) {
+	f := func(seed int64, qx, qy float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pool := storage.NewBufferPool(storage.NewMemFile(512), 64)
+		tr, err := New(pool, Config{PageSize: 512})
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(200)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+			if err := tr.InsertPoint(pts[i], int64(i)); err != nil {
+				return false
+			}
+		}
+		q := geom.Point{X: clampFinite(qx), Y: clampFinite(qy)}
+		nn, err := tr.NearestNeighbor(q)
+		if err != nil {
+			return false
+		}
+		best := pts[0].DistSq(q)
+		for _, p := range pts[1:] {
+			if d := p.DistSq(q); d < best {
+				best = d
+			}
+		}
+		// Relative tolerance: squaring the reported sqrt loses precision
+		// for far-away query points.
+		return nn.Dist*nn.Dist <= best*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

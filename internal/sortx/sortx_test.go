@@ -1,0 +1,134 @@
+package sortx
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestAllMethodsSortCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range Methods() {
+		for _, n := range []int{0, 1, 2, 3, 10, 100, 1000} {
+			s := make([]int, n)
+			for i := range s {
+				s[i] = rng.Intn(100)
+			}
+			want := append([]int(nil), s...)
+			sort.Ints(want)
+			Sort(s, intLess, m)
+			for i := range s {
+				if s[i] != want[i] {
+					t.Fatalf("%v n=%d: position %d = %d, want %d", m, n, i, s[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSortAdversarialInputs(t *testing.T) {
+	inputs := [][]int{
+		{5, 4, 3, 2, 1},          // reverse sorted
+		{1, 2, 3, 4, 5},          // already sorted
+		{7, 7, 7, 7, 7, 7},       // all equal
+		{1, 3, 1, 3, 1, 3, 1, 3}, // alternating
+		{2, 1},                   // minimal swap
+		{-5, 0, 5, -5, 0, 5},     // negatives and duplicates
+		make([]int, 500),         // all zero, large
+		func() []int { // sorted large (quicksort trap)
+			s := make([]int, 2000)
+			for i := range s {
+				s[i] = i
+			}
+			return s
+		}(),
+	}
+	for _, m := range Methods() {
+		for ci, in := range inputs {
+			s := append([]int(nil), in...)
+			want := append([]int(nil), in...)
+			sort.Ints(want)
+			Sort(s, intLess, m)
+			for i := range s {
+				if s[i] != want[i] {
+					t.Fatalf("%v case %d: mismatch at %d", m, ci, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	for _, m := range Methods() {
+		m := m
+		f := func(s []float64) bool {
+			Sort(s, func(a, b float64) bool { return a < b }, m)
+			return sort.Float64sAreSorted(s)
+		}
+		cfg := &quick.Config{MaxCount: 50}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestMergeSortIsStable(t *testing.T) {
+	type kv struct{ k, seq int }
+	rng := rand.New(rand.NewSource(2))
+	s := make([]kv, 500)
+	for i := range s {
+		s[i] = kv{k: rng.Intn(10), seq: i}
+	}
+	Sort(s, func(a, b kv) bool { return a.k < b.k }, Merge)
+	for i := 1; i < len(s); i++ {
+		if s[i].k == s[i-1].k && s[i].seq < s[i-1].seq {
+			t.Fatalf("merge sort not stable at %d", i)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Methods() {
+		name := m.String()
+		if name == "" || seen[name] {
+			t.Fatalf("bad or duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+	if Method(99).String() != "Method(99)" {
+		t.Error("unknown method String")
+	}
+}
+
+func TestSortPanicsOnUnknownMethod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Sort([]int{3, 1}, intLess, Method(99))
+}
+
+func BenchmarkSortMethods(b *testing.B) {
+	// The sorting-method ablation behind paper footnote 2: sort the kind of
+	// slice STD sorts (a few hundred float keys, partially ordered).
+	for _, m := range Methods() {
+		b.Run(m.String(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			base := make([]float64, 441) // M+1 squared candidate pairs
+			for i := range base {
+				base[i] = rng.Float64()
+			}
+			s := make([]float64, len(base))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(s, base)
+				Sort(s, func(a, b float64) bool { return a < b }, m)
+			}
+		})
+	}
+}

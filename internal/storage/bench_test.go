@@ -1,0 +1,32 @@
+package storage
+
+import "testing"
+
+func BenchmarkBufferGetHit(b *testing.B) {
+	f := NewMemFile(1024)
+	id, _ := f.Allocate()
+	p := NewBufferPool(f, 16)
+	if _, err := p.Get(id); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Get(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBufferGetMiss(b *testing.B) {
+	f := NewMemFile(1024)
+	for i := 0; i < 1024; i++ {
+		f.Allocate()
+	}
+	p := NewBufferPool(f, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Get(PageID(i % 1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

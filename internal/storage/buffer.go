@@ -1,0 +1,321 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Policy selects the page replacement policy of a BufferPool. The paper
+// (following Leutenegger & Lopez, ICDE 1998) uses LRU throughout; FIFO and
+// CLOCK are provided for the replacement-policy ablation.
+type Policy int
+
+const (
+	// LRU evicts the least recently used page (the paper's policy).
+	LRU Policy = iota
+	// FIFO evicts the page resident longest, regardless of use.
+	FIFO
+	// Clock is the classic second-chance approximation of LRU.
+	Clock
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Clock:
+		return "CLOCK"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Policies lists the available replacement policies.
+func Policies() []Policy { return []Policy{LRU, FIFO, Clock} }
+
+// BufferPool is a write-through page cache in front of a PageFile, using
+// LRU replacement by default (FIFO and CLOCK are available for ablation).
+//
+// The experimental setup of the paper dedicates an LRU buffer of B pages to
+// each query, split as B/2 pages per R-tree; a capacity of zero disables
+// caching entirely so every page read is a disk access. BufferPool counts
+// hits, misses (reads), writes and evictions; the miss counter is the
+// paper's "disk accesses" metric.
+//
+// BufferPool is safe for concurrent use. Get returns the pooled page slice
+// for efficiency; callers must treat it as read-only and must not retain it
+// across another pool call (it may be evicted and reused).
+type BufferPool struct {
+	mu       sync.Mutex
+	file     PageFile
+	capacity int
+	policy   Policy
+	stats    IOStats
+
+	entries map[PageID]*bufEntry
+	// Intrusive LRU list: head is most recently used, tail least.
+	head, tail *bufEntry
+	// free keeps evicted entries for reuse to avoid re-allocating page
+	// buffers under churn.
+	free *bufEntry
+}
+
+type bufEntry struct {
+	id         PageID
+	data       []byte
+	prev, next *bufEntry
+	referenced bool // CLOCK second-chance bit
+}
+
+// NewBufferPool wraps file with an LRU cache of the given capacity
+// (in pages). A capacity of 0 turns the pool into a pure pass-through
+// counter.
+func NewBufferPool(file PageFile, capacity int) *BufferPool {
+	return NewBufferPoolWithPolicy(file, capacity, LRU)
+}
+
+// NewBufferPoolWithPolicy wraps file with a page cache using the given
+// replacement policy.
+func NewBufferPoolWithPolicy(file PageFile, capacity int, policy Policy) *BufferPool {
+	if capacity < 0 {
+		panic(fmt.Sprintf("storage: negative buffer capacity %d", capacity))
+	}
+	switch policy {
+	case LRU, FIFO, Clock:
+	default:
+		panic(fmt.Sprintf("storage: unknown replacement policy %d", int(policy)))
+	}
+	return &BufferPool{
+		file:     file,
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[PageID]*bufEntry, capacity),
+	}
+}
+
+// Policy returns the pool's replacement policy.
+func (b *BufferPool) Policy() Policy { return b.policy }
+
+// File returns the underlying page file.
+func (b *BufferPool) File() PageFile { return b.file }
+
+// Capacity returns the pool capacity in pages.
+func (b *BufferPool) Capacity() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity
+}
+
+// PageSize returns the page size of the underlying file.
+func (b *BufferPool) PageSize() int { return b.file.PageSize() }
+
+// Allocate appends a fresh page to the underlying file.
+func (b *BufferPool) Allocate() (PageID, error) {
+	return b.file.Allocate()
+}
+
+// Get returns the contents of page id, reading it from the file on a miss.
+// The returned slice is owned by the pool: read-only, valid until the next
+// pool call.
+func (b *BufferPool) Get(id PageID) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.entries[id]; ok {
+		b.stats.Hits++
+		b.touch(e)
+		return e.data, nil
+	}
+	b.stats.Reads++
+	if b.capacity == 0 {
+		// Pass-through: use a single scratch entry kept on the free list.
+		e := b.takeFree()
+		if err := b.file.ReadPage(id, e.data); err != nil {
+			b.putFree(e)
+			return nil, err
+		}
+		data := e.data
+		b.putFree(e)
+		return data, nil
+	}
+	e := b.takeFree()
+	if err := b.file.ReadPage(id, e.data); err != nil {
+		b.putFree(e)
+		return nil, err
+	}
+	e.id = id
+	b.insertFront(e)
+	b.entries[id] = e
+	b.evictOverflow()
+	return e.data, nil
+}
+
+// Write stores buf as the contents of page id, write-through to the file,
+// and refreshes the cached copy if present (or caches it when capacity
+// allows).
+func (b *BufferPool) Write(id PageID, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.file.WritePage(id, buf); err != nil {
+		return err
+	}
+	b.stats.Writes++
+	if b.capacity == 0 {
+		return nil
+	}
+	if e, ok := b.entries[id]; ok {
+		copy(e.data, buf)
+		b.touch(e)
+		return nil
+	}
+	e := b.takeFree()
+	copy(e.data, buf)
+	e.id = id
+	b.insertFront(e)
+	b.entries[id] = e
+	b.evictOverflow()
+	return nil
+}
+
+// Invalidate drops page id from the cache (used when a page is freed).
+func (b *BufferPool) Invalidate(id PageID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.entries[id]; ok {
+		b.unlink(e)
+		delete(b.entries, id)
+		b.putFree(e)
+	}
+}
+
+// Clear empties the cache without touching the statistics.
+func (b *BufferPool) Clear() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, e := range b.entries {
+		b.unlink(e)
+		delete(b.entries, id)
+		b.putFree(e)
+	}
+}
+
+// Resize changes the capacity, evicting LRU pages if shrinking.
+func (b *BufferPool) Resize(capacity int) {
+	if capacity < 0 {
+		panic(fmt.Sprintf("storage: negative buffer capacity %d", capacity))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.capacity = capacity
+	b.evictOverflow()
+}
+
+// Len returns the number of cached pages.
+func (b *BufferPool) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (b *BufferPool) Stats() IOStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// ResetStats zeroes the counters (cache contents are preserved).
+func (b *BufferPool) ResetStats() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats = IOStats{}
+}
+
+// locked helpers ------------------------------------------------------------
+
+func (b *BufferPool) takeFree() *bufEntry {
+	if e := b.free; e != nil {
+		b.free = e.next
+		e.next = nil
+		return e
+	}
+	return &bufEntry{data: make([]byte, b.file.PageSize())}
+}
+
+func (b *BufferPool) putFree(e *bufEntry) {
+	e.prev = nil
+	e.id = InvalidPageID
+	e.referenced = false
+	e.next = b.free
+	b.free = e
+}
+
+func (b *BufferPool) insertFront(e *bufEntry) {
+	e.prev = nil
+	e.next = b.head
+	if b.head != nil {
+		b.head.prev = e
+	}
+	b.head = e
+	if b.tail == nil {
+		b.tail = e
+	}
+}
+
+func (b *BufferPool) unlink(e *bufEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		b.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (b *BufferPool) moveToFront(e *bufEntry) {
+	if b.head == e {
+		return
+	}
+	b.unlink(e)
+	b.insertFront(e)
+}
+
+// touch records a page use according to the replacement policy.
+func (b *BufferPool) touch(e *bufEntry) {
+	switch b.policy {
+	case LRU:
+		b.moveToFront(e)
+	case FIFO:
+		// Residency order only; uses are ignored.
+	case Clock:
+		e.referenced = true
+	}
+}
+
+func (b *BufferPool) evictOverflow() {
+	for len(b.entries) > b.capacity {
+		victim := b.tail
+		if victim == nil {
+			return
+		}
+		if b.policy == Clock {
+			// Second chance: rotate referenced pages to the front with
+			// their bit cleared until an unreferenced victim surfaces.
+			for victim.referenced {
+				victim.referenced = false
+				b.moveToFront(victim)
+				victim = b.tail
+			}
+		}
+		b.unlink(victim)
+		delete(b.entries, victim.id)
+		b.stats.Evictions++
+		b.putFree(victim)
+	}
+}

@@ -1,0 +1,249 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// newTestPool creates a pool over a MemFile pre-filled with n pages whose
+// first byte equals their page id.
+func newTestPool(t *testing.T, n, capacity, pageSize int) *BufferPool {
+	t.Helper()
+	f := NewMemFile(pageSize)
+	for i := 0; i < n; i++ {
+		id, err := f.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, pageSize)
+		buf[0] = byte(id)
+		if err := f.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewBufferPool(f, capacity)
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	p := newTestPool(t, 4, 2, 64)
+
+	// First read of page 0: miss.
+	d, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 0 {
+		t.Fatalf("page 0 content = %d", d[0])
+	}
+	// Second read: hit.
+	if _, err := p.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Reads != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 read 1 hit", st)
+	}
+}
+
+func TestBufferPoolLRUEviction(t *testing.T) {
+	p := newTestPool(t, 3, 2, 64)
+	mustGet := func(id PageID) {
+		t.Helper()
+		d, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d[0] != byte(id) {
+			t.Fatalf("page %d content = %d", id, d[0])
+		}
+	}
+	mustGet(0) // miss, cache {0}
+	mustGet(1) // miss, cache {1,0}
+	mustGet(0) // hit, cache {0,1}
+	mustGet(2) // miss, evicts 1 (LRU), cache {2,0}
+	mustGet(0) // hit
+	mustGet(1) // miss again (was evicted)
+	st := p.Stats()
+	if st.Reads != 4 {
+		t.Errorf("Reads = %d, want 4", st.Reads)
+	}
+	if st.Hits != 2 {
+		t.Errorf("Hits = %d, want 2", st.Hits)
+	}
+	if st.Evictions < 1 {
+		t.Errorf("Evictions = %d, want >= 1", st.Evictions)
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2", p.Len())
+	}
+}
+
+func TestBufferPoolZeroCapacity(t *testing.T) {
+	p := newTestPool(t, 2, 0, 64)
+	for i := 0; i < 5; i++ {
+		if _, err := p.Get(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Reads != 5 || st.Hits != 0 {
+		t.Fatalf("zero-capacity stats = %+v, want 5 reads 0 hits", st)
+	}
+	if p.Len() != 0 {
+		t.Errorf("Len = %d, want 0", p.Len())
+	}
+}
+
+func TestBufferPoolWriteThrough(t *testing.T) {
+	p := newTestPool(t, 2, 2, 64)
+	buf := make([]byte, 64)
+	buf[0] = 0xEE
+	if err := p.Write(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	// The write must be visible through the pool...
+	d, err := p.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 0xEE {
+		t.Fatal("write not visible via pool")
+	}
+	// ...and on the backing file (write-through).
+	raw := make([]byte, 64)
+	if err := p.File().ReadPage(1, raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != 0xEE {
+		t.Fatal("write did not reach backing file")
+	}
+	st := p.Stats()
+	if st.Writes != 1 {
+		t.Errorf("Writes = %d, want 1", st.Writes)
+	}
+	// Cached by the write, so the Get above was a hit.
+	if st.Hits != 1 || st.Reads != 0 {
+		t.Errorf("stats = %+v, want cached write (1 hit, 0 reads)", st)
+	}
+}
+
+func TestBufferPoolWriteUpdatesCachedCopy(t *testing.T) {
+	p := newTestPool(t, 2, 2, 64)
+	if _, err := p.Get(0); err != nil { // cache page 0
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	buf[0] = 0x55
+	if err := p.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 0x55 {
+		t.Fatal("stale cached copy after write")
+	}
+}
+
+func TestBufferPoolInvalidate(t *testing.T) {
+	p := newTestPool(t, 2, 2, 64)
+	if _, err := p.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	p.Invalidate(0)
+	if _, err := p.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Reads != 2 {
+		t.Errorf("Reads = %d, want 2 (invalidate must force re-read)", st.Reads)
+	}
+	p.Invalidate(12345) // absent id: no-op
+}
+
+func TestBufferPoolClearAndReset(t *testing.T) {
+	p := newTestPool(t, 3, 3, 64)
+	for id := PageID(0); id < 3; id++ {
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Clear()
+	if p.Len() != 0 {
+		t.Errorf("Len after Clear = %d", p.Len())
+	}
+	p.ResetStats()
+	if st := p.Stats(); st != (IOStats{}) {
+		t.Errorf("stats after reset = %+v", st)
+	}
+}
+
+func TestBufferPoolResize(t *testing.T) {
+	p := newTestPool(t, 4, 4, 64)
+	for id := PageID(0); id < 4; id++ {
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Resize(1)
+	if p.Len() != 1 {
+		t.Errorf("Len after shrink = %d, want 1", p.Len())
+	}
+	if p.Capacity() != 1 {
+		t.Errorf("Capacity = %d", p.Capacity())
+	}
+	// The survivor must be the most recently used page (3).
+	if _, err := p.Get(3); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Hits != 1 {
+		t.Errorf("expected MRU page to survive shrink; stats = %+v", st)
+	}
+}
+
+func TestBufferPoolRandomizedAgainstDirectFile(t *testing.T) {
+	// Model check: pool reads must always return exactly what an uncached
+	// reader sees, across interleaved reads/writes and any capacity.
+	const pages, pageSize = 16, 32
+	rng := rand.New(rand.NewSource(99))
+	for _, capacity := range []int{0, 1, 3, 16, 64} {
+		f := NewMemFile(pageSize)
+		shadow := make([][]byte, pages)
+		for i := 0; i < pages; i++ {
+			if _, err := f.Allocate(); err != nil {
+				t.Fatal(err)
+			}
+			shadow[i] = make([]byte, pageSize)
+		}
+		p := NewBufferPool(f, capacity)
+		for op := 0; op < 3000; op++ {
+			id := PageID(rng.Intn(pages))
+			if rng.Intn(3) == 0 { // write
+				buf := make([]byte, pageSize)
+				rng.Read(buf)
+				if err := p.Write(id, buf); err != nil {
+					t.Fatal(err)
+				}
+				copy(shadow[id], buf)
+			} else { // read
+				d, err := p.Get(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(d, shadow[id]) {
+					t.Fatalf("capacity=%d op=%d page=%d: pool content diverged",
+						capacity, op, id)
+				}
+			}
+			if capacity > 0 && p.Len() > capacity {
+				t.Fatalf("capacity=%d exceeded: len=%d", capacity, p.Len())
+			}
+		}
+		st := p.Stats()
+		if st.Reads+st.Hits == 0 {
+			t.Fatal("no reads recorded")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package storage
+
+import "fmt"
+
+// IOStats accumulates the storage-level cost counters used by every
+// experiment in the paper. Reads is the number of page reads issued to the
+// underlying PageFile, i.e. buffer misses — the paper's "disk accesses".
+type IOStats struct {
+	// Reads counts page reads served by the page file (buffer misses).
+	Reads int64
+	// Writes counts page writes issued to the page file.
+	Writes int64
+	// Hits counts page reads served from the buffer pool.
+	Hits int64
+	// Evictions counts pages evicted from the buffer pool.
+	Evictions int64
+}
+
+// Accesses returns the paper's cost metric: disk reads (buffer misses).
+func (s IOStats) Accesses() int64 { return s.Reads }
+
+// Add returns the element-wise sum of s and t. It is used to combine the
+// per-tree statistics of the two R-trees participating in a join.
+func (s IOStats) Add(t IOStats) IOStats {
+	return IOStats{
+		Reads:     s.Reads + t.Reads,
+		Writes:    s.Writes + t.Writes,
+		Hits:      s.Hits + t.Hits,
+		Evictions: s.Evictions + t.Evictions,
+	}
+}
+
+// Sub returns the element-wise difference s - t; useful for measuring the
+// cost of a single operation by differencing before/after snapshots.
+func (s IOStats) Sub(t IOStats) IOStats {
+	return IOStats{
+		Reads:     s.Reads - t.Reads,
+		Writes:    s.Writes - t.Writes,
+		Hits:      s.Hits - t.Hits,
+		Evictions: s.Evictions - t.Evictions,
+	}
+}
+
+// String implements fmt.Stringer.
+func (s IOStats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d hits=%d evictions=%d",
+		s.Reads, s.Writes, s.Hits, s.Evictions)
+}

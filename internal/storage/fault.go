@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the failure produced by a FaultFile when a trigger fires.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultFile wraps a PageFile and injects failures for testing: after
+// FailReadAfter / FailWriteAfter successful operations of the respective
+// kind, every further operation of that kind fails with ErrInjected until
+// the countdown is reset. A zero countdown (the default) never fires.
+// It is used by the failure-injection tests of the R-tree and the join
+// algorithms, and is exported so downstream users can test their own
+// error handling.
+type FaultFile struct {
+	mu     sync.Mutex
+	inner  PageFile
+	reads  int64
+	writes int64
+	// failRead / failWrite are the remaining successful operations before
+	// failures start; negative means disarmed.
+	failRead  int64
+	failWrite int64
+}
+
+// NewFaultFile wraps inner with disarmed fault triggers.
+func NewFaultFile(inner PageFile) *FaultFile {
+	return &FaultFile{inner: inner, failRead: -1, failWrite: -1}
+}
+
+// FailReadAfter arms the read trigger: the next n reads succeed, every
+// read after that fails. n = 0 fails immediately; pass a negative n to
+// disarm.
+func (f *FaultFile) FailReadAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failRead = n
+	f.reads = 0
+}
+
+// FailWriteAfter arms the write trigger analogously.
+func (f *FaultFile) FailWriteAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWrite = n
+	f.writes = 0
+}
+
+// PageSize implements PageFile.
+func (f *FaultFile) PageSize() int { return f.inner.PageSize() }
+
+// NumPages implements PageFile.
+func (f *FaultFile) NumPages() int64 { return f.inner.NumPages() }
+
+// Allocate implements PageFile.
+func (f *FaultFile) Allocate() (PageID, error) { return f.inner.Allocate() }
+
+// ReadPage implements PageFile, failing once the read trigger fires.
+func (f *FaultFile) ReadPage(id PageID, buf []byte) error {
+	f.mu.Lock()
+	armed := f.failRead >= 0
+	fire := armed && f.reads >= f.failRead
+	f.reads++
+	f.mu.Unlock()
+	if fire {
+		return ErrInjected
+	}
+	return f.inner.ReadPage(id, buf)
+}
+
+// WritePage implements PageFile, failing once the write trigger fires.
+func (f *FaultFile) WritePage(id PageID, buf []byte) error {
+	f.mu.Lock()
+	armed := f.failWrite >= 0
+	fire := armed && f.writes >= f.failWrite
+	f.writes++
+	f.mu.Unlock()
+	if fire {
+		return ErrInjected
+	}
+	return f.inner.WritePage(id, buf)
+}
+
+// Close implements PageFile.
+func (f *FaultFile) Close() error { return f.inner.Close() }

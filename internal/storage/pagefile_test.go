@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// pageFileContract exercises the PageFile contract against any
+// implementation.
+func pageFileContract(t *testing.T, f PageFile) {
+	t.Helper()
+	ps := f.PageSize()
+	if f.NumPages() != 0 {
+		t.Fatalf("fresh file has %d pages", f.NumPages())
+	}
+
+	// Allocation yields sequential ids and zeroed contents.
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, err := f.Allocate()
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		if id != PageID(i) {
+			t.Fatalf("Allocate returned %d, want %d", id, i)
+		}
+		ids = append(ids, id)
+	}
+	if f.NumPages() != 5 {
+		t.Fatalf("NumPages = %d, want 5", f.NumPages())
+	}
+	buf := make([]byte, ps)
+	if err := f.ReadPage(ids[3], buf); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(buf, make([]byte, ps)) {
+		t.Fatal("fresh page is not zeroed")
+	}
+
+	// Round trip.
+	want := make([]byte, ps)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	if err := f.WritePage(ids[2], want); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	got := make([]byte, ps)
+	if err := f.ReadPage(ids[2], got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("page round trip mismatch")
+	}
+	// Neighbors untouched.
+	if err := f.ReadPage(ids[1], got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(got, make([]byte, ps)) {
+		t.Fatal("write leaked into neighbor page")
+	}
+
+	// Errors.
+	if err := f.ReadPage(99, buf); !errors.Is(err, ErrPageOutOfRange) {
+		t.Errorf("ReadPage(99) err = %v, want ErrPageOutOfRange", err)
+	}
+	if err := f.ReadPage(-1, buf); !errors.Is(err, ErrPageOutOfRange) {
+		t.Errorf("ReadPage(-1) err = %v, want ErrPageOutOfRange", err)
+	}
+	if err := f.WritePage(99, buf); !errors.Is(err, ErrPageOutOfRange) {
+		t.Errorf("WritePage(99) err = %v, want ErrPageOutOfRange", err)
+	}
+	if err := f.ReadPage(0, make([]byte, ps-1)); !errors.Is(err, ErrBadPageSize) {
+		t.Errorf("short buffer err = %v, want ErrBadPageSize", err)
+	}
+	if err := f.WritePage(0, make([]byte, ps+1)); !errors.Is(err, ErrBadPageSize) {
+		t.Errorf("long buffer err = %v, want ErrBadPageSize", err)
+	}
+}
+
+func TestMemFileContract(t *testing.T) {
+	f := NewMemFile(256)
+	defer f.Close()
+	pageFileContract(t, f)
+}
+
+func TestDiskFileContract(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	f, err := CreateDiskFile(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pageFileContract(t, f)
+}
+
+func TestDiskFileReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	f, err := CreateDiskFile(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0xAB}, 128)
+	if err := f.WritePage(id, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := OpenDiskFile(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.NumPages() != 1 {
+		t.Fatalf("reopened NumPages = %d", g.NumPages())
+	}
+	got := make([]byte, 128)
+	if err := g.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("page lost across reopen")
+	}
+}
+
+func TestDiskFileOpenBadLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	f, err := CreateDiskFile(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := OpenDiskFile(path, 64); err == nil {
+		t.Fatal("OpenDiskFile with mismatched page size must fail")
+	}
+}
+
+func TestMemFileClosed(t *testing.T) {
+	f := NewMemFile(64)
+	if _, err := f.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	buf := make([]byte, 64)
+	if err := f.ReadPage(0, buf); !errors.Is(err, ErrClosed) {
+		t.Errorf("read after close err = %v", err)
+	}
+	if _, err := f.Allocate(); !errors.Is(err, ErrClosed) {
+		t.Errorf("allocate after close err = %v", err)
+	}
+}
+
+func TestIOStatsArithmetic(t *testing.T) {
+	a := IOStats{Reads: 10, Writes: 2, Hits: 5, Evictions: 1}
+	b := IOStats{Reads: 3, Writes: 1, Hits: 2, Evictions: 1}
+	sum := a.Add(b)
+	if sum.Reads != 13 || sum.Writes != 3 || sum.Hits != 7 || sum.Evictions != 2 {
+		t.Errorf("Add = %+v", sum)
+	}
+	diff := a.Sub(b)
+	if diff.Reads != 7 || diff.Writes != 1 || diff.Hits != 3 || diff.Evictions != 0 {
+		t.Errorf("Sub = %+v", diff)
+	}
+	if a.Accesses() != 10 {
+		t.Errorf("Accesses = %d", a.Accesses())
+	}
+	if s := a.String(); s == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func newPolicyPool(t *testing.T, n, capacity int, p Policy) *BufferPool {
+	t.Helper()
+	f := NewMemFile(64)
+	for i := 0; i < n; i++ {
+		id, err := f.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 64)
+		buf[0] = byte(id)
+		if err := f.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewBufferPoolWithPolicy(f, capacity, p)
+}
+
+func mustGetPage(t *testing.T, p *BufferPool, id PageID) {
+	t.Helper()
+	d, err := p.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != byte(id) {
+		t.Fatalf("page %d content = %d", id, d[0])
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Policies() {
+		if n := p.String(); n == "" || seen[n] {
+			t.Fatalf("bad policy name %q", n)
+		} else {
+			seen[n] = true
+		}
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Error("unknown policy String")
+	}
+}
+
+func TestUnknownPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBufferPoolWithPolicy(NewMemFile(64), 4, Policy(9))
+}
+
+func TestFIFODiffersFromLRU(t *testing.T) {
+	// Access pattern: 0, 1, 0, 2 with capacity 2.
+	// LRU evicts 1 (0 was refreshed); FIFO evicts 0 (resident longest).
+	run := func(p Policy) (missOn0 bool) {
+		pool := newPolicyPool(t, 3, 2, p)
+		mustGetPage(t, pool, 0)
+		mustGetPage(t, pool, 1)
+		mustGetPage(t, pool, 0)
+		mustGetPage(t, pool, 2)
+		before := pool.Stats().Reads
+		mustGetPage(t, pool, 0)
+		return pool.Stats().Reads > before
+	}
+	if run(LRU) {
+		t.Error("LRU must keep page 0 after refresh")
+	}
+	if !run(FIFO) {
+		t.Error("FIFO must evict page 0 (longest resident)")
+	}
+}
+
+func TestClockGivesSecondChance(t *testing.T) {
+	// Capacity 2: load 0, 1; reference 0; insert 2.
+	// CLOCK clears 0's bit and evicts 1 instead.
+	pool := newPolicyPool(t, 3, 2, Clock)
+	mustGetPage(t, pool, 0)
+	mustGetPage(t, pool, 1)
+	mustGetPage(t, pool, 0) // sets 0's reference bit
+	mustGetPage(t, pool, 2) // evicts 1 (0 had a second chance)
+	before := pool.Stats().Reads
+	mustGetPage(t, pool, 0)
+	if pool.Stats().Reads != before {
+		t.Error("CLOCK must keep the referenced page 0")
+	}
+	mustGetPage(t, pool, 1)
+	if pool.Stats().Reads != before+1 {
+		t.Error("CLOCK must have evicted page 1")
+	}
+}
+
+func TestAllPoliciesServeCorrectData(t *testing.T) {
+	// Content correctness is policy independent: randomized model check.
+	const pages = 12
+	for _, policy := range Policies() {
+		for _, capacity := range []int{0, 1, 3, 12} {
+			f := NewMemFile(32)
+			shadow := make([][]byte, pages)
+			for i := 0; i < pages; i++ {
+				if _, err := f.Allocate(); err != nil {
+					t.Fatal(err)
+				}
+				shadow[i] = make([]byte, 32)
+			}
+			pool := NewBufferPoolWithPolicy(f, capacity, policy)
+			rng := rand.New(rand.NewSource(int64(capacity) + int64(policy)*100))
+			for op := 0; op < 2000; op++ {
+				id := PageID(rng.Intn(pages))
+				if rng.Intn(3) == 0 {
+					buf := make([]byte, 32)
+					rng.Read(buf)
+					if err := pool.Write(id, buf); err != nil {
+						t.Fatal(err)
+					}
+					copy(shadow[id], buf)
+				} else {
+					d, err := pool.Get(id)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(d, shadow[id]) {
+						t.Fatalf("%v capacity=%d: content diverged", policy, capacity)
+					}
+				}
+				if capacity > 0 && pool.Len() > capacity {
+					t.Fatalf("%v: capacity exceeded", policy)
+				}
+			}
+		}
+	}
+}
+
+func TestScanResistanceComparison(t *testing.T) {
+	// A looping scan over capacity+1 pages: LRU misses every access
+	// (the classic sequential-flood pathology), FIFO too; this documents
+	// the behavior rather than ranking the policies.
+	for _, policy := range Policies() {
+		pool := newPolicyPool(t, 5, 4, policy)
+		for round := 0; round < 4; round++ {
+			for id := PageID(0); id < 5; id++ {
+				mustGetPage(t, pool, id)
+			}
+		}
+		st := pool.Stats()
+		if st.Reads+st.Hits != 20 {
+			t.Fatalf("%v: accounted %d accesses, want 20", policy, st.Reads+st.Hits)
+		}
+		if st.Reads < 5 {
+			t.Fatalf("%v: impossible miss count %d", policy, st.Reads)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package cpq
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/incremental"
+	"repro/internal/sortx"
+)
+
+// Pair is one closest-pair result.
+type Pair = core.Pair
+
+// Stats reports the cost of a query; Stats.Accesses() is the paper's disk
+// access count.
+type Stats = core.Stats
+
+// Algorithm selects one of the paper's five CPQ algorithms.
+type Algorithm = core.Algorithm
+
+// The five algorithms of Section 3.
+const (
+	// NaiveAlgorithm recurses with no pruning (correctness baseline).
+	NaiveAlgorithm = core.Naive
+	// ExhaustiveAlgorithm (EXH) prunes on MINMINDIST > T.
+	ExhaustiveAlgorithm = core.Exhaustive
+	// SimpleAlgorithm (SIM) additionally tightens T via MINMAXDIST.
+	SimpleAlgorithm = core.Simple
+	// SortedDistancesAlgorithm (STD) additionally sorts candidates by
+	// ascending MINMINDIST.
+	SortedDistancesAlgorithm = core.SortedDistances
+	// HeapAlgorithm (HEAP) is the iterative algorithm on a global
+	// min-heap of node pairs. It is the default: the paper found it (with
+	// STD) the most robust across configurations.
+	HeapAlgorithm = core.Heap
+)
+
+// TieStrategy breaks MINMINDIST ties in STD and HEAP (paper Section 3.6).
+type TieStrategy = core.TieStrategy
+
+// Tie strategies T1-T5; T1 is the paper's winner and the default.
+const (
+	TieNone = core.TieNone
+	Tie1    = core.Tie1
+	Tie2    = core.Tie2
+	Tie3    = core.Tie3
+	Tie4    = core.Tie4
+	Tie5    = core.Tie5
+)
+
+// HeightStrategy treats trees of different heights (paper Section 3.7).
+type HeightStrategy = core.HeightStrategy
+
+// Height strategies; FixAtRoot is the paper's recommendation and the
+// default.
+const (
+	FixAtRoot   = core.FixAtRoot
+	FixAtLeaves = core.FixAtLeaves
+)
+
+// SortMethod selects STD's sorting algorithm (paper footnote 2).
+type SortMethod = sortx.Method
+
+// The six candidate sorts; MergeSort is the authors' choice and default.
+const (
+	MergeSort     = sortx.Merge
+	QuickSort     = sortx.Quick
+	HeapSort      = sortx.Heap
+	InsertionSort = sortx.Insertion
+	SelectionSort = sortx.Selection
+	BubbleSort    = sortx.Bubble
+)
+
+// KPruning selects the K>1 pruning bound (paper Section 3.8).
+type KPruning = core.KPruning
+
+// K-pruning rules; KPruneMaxMax (the technical report's MAXMAXDIST rule)
+// is the default.
+const (
+	KPruneMaxMax  = core.KPruneMaxMax
+	KPruneHeapTop = core.KPruneHeapTop
+)
+
+// Metric is a Minkowski (L_p) distance metric. The zero value is the
+// Euclidean metric, the paper's default; Section 2.1 notes the methods
+// adapt to any Minkowski metric, and this implementation does.
+type Metric = geom.Metric
+
+// Euclidean returns the L2 metric (the default).
+func Euclidean() Metric { return geom.L2() }
+
+// Manhattan returns the L1 metric.
+func Manhattan() Metric { return geom.L1() }
+
+// Chebyshev returns the L-infinity metric.
+func Chebyshev() Metric { return geom.LInf() }
+
+// Minkowski returns the L_p metric for p >= 1.
+func Minkowski(p float64) (Metric, error) { return geom.Lp(p) }
+
+// QueryOption tunes a closest-pair query.
+type QueryOption func(*core.Options)
+
+// WithAlgorithm selects the CPQ algorithm (default HeapAlgorithm).
+func WithAlgorithm(a Algorithm) QueryOption {
+	return func(o *core.Options) { o.Algorithm = a }
+}
+
+// WithTieStrategy selects the tie-break strategy (default Tie1).
+func WithTieStrategy(t TieStrategy) QueryOption {
+	return func(o *core.Options) { o.Tie = t }
+}
+
+// WithHeightStrategy selects the different-heights treatment
+// (default FixAtRoot).
+func WithHeightStrategy(h HeightStrategy) QueryOption {
+	return func(o *core.Options) { o.Height = h }
+}
+
+// WithSortMethod selects STD's sorting algorithm (default MergeSort).
+func WithSortMethod(m SortMethod) QueryOption {
+	return func(o *core.Options) { o.Sort = m }
+}
+
+// WithKPruning selects the K>1 pruning rule (default KPruneMaxMax).
+func WithKPruning(k KPruning) QueryOption {
+	return func(o *core.Options) { o.KPrune = k }
+}
+
+// WithMetric selects the distance metric (default Euclidean).
+func WithMetric(m Metric) QueryOption {
+	return func(o *core.Options) { o.Metric = m }
+}
+
+func buildOptions(opts []QueryOption) core.Options {
+	o := core.DefaultOptions(core.Heap)
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// ClosestPair returns the closest pair between the two indexed point sets
+// (the paper's 1-CPQ).
+func ClosestPair(p, q *Index, opts ...QueryOption) (Pair, Stats, error) {
+	return core.ClosestPair(p.tree, q.tree, buildOptions(opts))
+}
+
+// KClosestPairs returns the k closest pairs between the two indexed point
+// sets in ascending distance order (the paper's K-CPQ). If fewer than k
+// pairs exist, all are returned.
+func KClosestPairs(p, q *Index, k int, opts ...QueryOption) ([]Pair, Stats, error) {
+	return core.KClosestPairs(p.tree, q.tree, k, buildOptions(opts))
+}
+
+// SelfClosestPair returns the closest pair of distinct points within one
+// index (the paper's self-CPQ future-work variant).
+func SelfClosestPair(p *Index, opts ...QueryOption) (Pair, Stats, error) {
+	return core.SelfClosestPair(p.tree, buildOptions(opts))
+}
+
+// SelfKClosestPairs returns the k closest unordered pairs of distinct
+// points within one index.
+func SelfKClosestPairs(p *Index, k int, opts ...QueryOption) ([]Pair, Stats, error) {
+	return core.SelfKClosestPairs(p.tree, k, buildOptions(opts))
+}
+
+// SemiClosestPairs returns, for every point of p, its nearest point in q
+// (the paper's semi-CPQ future-work variant), sorted by ascending
+// distance.
+func SemiClosestPairs(p, q *Index, opts ...QueryOption) ([]Pair, Stats, error) {
+	return core.SemiClosestPairs(p.tree, q.tree, buildOptions(opts))
+}
+
+// SemiClosestPairsBatched computes the same result as SemiClosestPairs
+// with a batched traversal: one best-first search over q per leaf of p
+// serves all of the leaf's points at once, usually at a fraction of the
+// disk accesses.
+func SemiClosestPairsBatched(p, q *Index, opts ...QueryOption) ([]Pair, Stats, error) {
+	return core.SemiClosestPairsBatched(p.tree, q.tree, buildOptions(opts))
+}
+
+// Traversal selects the incremental join's expansion policy (Hjaltason &
+// Samet).
+type Traversal = incremental.Traversal
+
+// The three traversal policies of the incremental baseline.
+const (
+	BasicTraversal        = incremental.Basic
+	EvenTraversal         = incremental.Even
+	SimultaneousTraversal = incremental.Simultaneous
+)
+
+// JoinStats reports the cost of an incremental join.
+type JoinStats = incremental.Stats
+
+// JoinIterator streams closest pairs in ascending distance order.
+type JoinIterator struct {
+	it *incremental.Iterator
+}
+
+// JoinOption tunes an incremental join.
+type JoinOption func(*incremental.Options)
+
+// WithTraversal selects the expansion policy (default BasicTraversal).
+func WithTraversal(t Traversal) JoinOption {
+	return func(o *incremental.Options) { o.Traversal = t }
+}
+
+// WithMaxPairs bounds the number of pairs the join will produce, enabling
+// the K-bounded queue pruning of the modified algorithm in Hjaltason &
+// Samet.
+func WithMaxPairs(k int) JoinOption {
+	return func(o *incremental.Options) { o.MaxK = k }
+}
+
+// WithJoinMetric selects the incremental join's distance metric
+// (default Euclidean).
+func WithJoinMetric(m Metric) JoinOption {
+	return func(o *incremental.Options) { o.Metric = m }
+}
+
+// NewIncrementalJoin starts an incremental distance join between the two
+// indexes.
+func NewIncrementalJoin(p, q *Index, opts ...JoinOption) (*JoinIterator, error) {
+	var o incremental.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	it, err := incremental.New(p.tree, q.tree, o)
+	if err != nil {
+		return nil, err
+	}
+	return &JoinIterator{it: it}, nil
+}
+
+// Next returns the next closest pair; ok is false when the join is
+// exhausted.
+func (j *JoinIterator) Next() (pair Pair, ok bool, err error) {
+	return j.it.Next()
+}
+
+// Stats returns the join's cost counters so far.
+func (j *JoinIterator) Stats() JoinStats { return j.it.Stats() }
