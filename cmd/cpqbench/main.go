@@ -8,26 +8,43 @@
 //	cpqbench -experiment fig4      # one experiment
 //	cpqbench -quick                # 1/10 cardinalities (smoke run)
 //	cpqbench -scale 0.25           # custom scale
+//	cpqbench -parallel 4           # 4 HEAP workers (0 = GOMAXPROCS)
+//	cpqbench -json                 # one JSON summary object per experiment
 //	cpqbench -list                 # list experiments
 //	cpqbench -out results.txt      # also write output to a file
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 )
+
+// summary is the -json record emitted per experiment: wall time plus the
+// aggregated statistics of every query the experiment ran.
+type summary struct {
+	Experiment string       `json:"experiment"`
+	Title      string       `json:"title"`
+	Parallel   int          `json:"parallel"`
+	WallMS     float64      `json:"wall_ms"`
+	Totals     bench.Totals `json:"totals"`
+}
 
 func main() {
 	var (
 		experiment = flag.String("experiment", "", "experiment to run (default: all); see -list")
 		quick      = flag.Bool("quick", false, "scale cardinalities down to 1/10 for a fast smoke run")
 		scale      = flag.Float64("scale", 1.0, "cardinality scale factor (1.0 = the paper's sizes)")
+		parallel   = flag.Int("parallel", 1, "HEAP worker count for experiments that don't pick their own; 1 = the paper's sequential algorithm, 0 = GOMAXPROCS")
+		jsonOut    = flag.Bool("json", false, "emit one JSON summary per experiment on stdout (tables go only to -out)")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		out        = flag.String("out", "", "also write the report to this file")
 	)
@@ -40,39 +57,72 @@ func main() {
 		return
 	}
 
+	workers := *parallel
+	if workers <= 0 {
+		bench.SetDefaultParallelism(core.AutoParallelism)
+		workers = runtime.GOMAXPROCS(0)
+	} else {
+		bench.SetDefaultParallelism(workers)
+	}
+
 	s := *scale
 	if *quick {
 		s = 0.1
 	}
 	lab := bench.NewLab(s)
 
+	// In -json mode stdout carries only the JSON records; the human tables
+	// go to the -out file if one was given, and are dropped otherwise.
 	var w io.Writer = os.Stdout
+	if *jsonOut {
+		w = io.Discard
+	}
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		w = io.MultiWriter(os.Stdout, f)
+		if *jsonOut {
+			w = f
+		} else {
+			w = io.MultiWriter(os.Stdout, f)
+		}
 	}
 
-	fmt.Fprintf(w, "cpqbench — Closest Pair Queries in Spatial Databases (SIGMOD 2000) reproduction\n")
-	fmt.Fprintf(w, "scale %.3g; page size 1KB, M=21, m=7; disk accesses = buffer misses (B/2 pages per tree)\n\n", s)
-
-	start := time.Now()
-	if *experiment == "" {
-		if err := bench.RunAll(lab, w); err != nil {
-			fatal(err)
-		}
-	} else {
+	toRun := bench.Experiments()
+	if *experiment != "" {
+		toRun = nil
 		for _, name := range strings.Split(*experiment, ",") {
 			e, ok := bench.ByName(strings.TrimSpace(name))
 			if !ok {
 				fatal(fmt.Errorf("unknown experiment %q; available: %s",
 					name, strings.Join(bench.Names(), ", ")))
 			}
-			fmt.Fprintf(w, "=== %s: %s ===\n\n", e.Name, e.Title)
-			if err := e.Run(lab, w); err != nil {
+			toRun = append(toRun, e)
+		}
+	}
+
+	fmt.Fprintf(w, "cpqbench — Closest Pair Queries in Spatial Databases (SIGMOD 2000) reproduction\n")
+	fmt.Fprintf(w, "scale %.3g; page size 1KB, M=21, m=7; disk accesses = buffer misses (B/2 pages per tree)\n\n", s)
+
+	enc := json.NewEncoder(os.Stdout)
+	start := time.Now()
+	for _, e := range toRun {
+		fmt.Fprintf(w, "=== %s: %s ===\n\n", e.Name, e.Title)
+		bench.ResetTotals()
+		expStart := time.Now()
+		if err := e.Run(lab, w); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.Name, err))
+		}
+		if *jsonOut {
+			if err := enc.Encode(summary{
+				Experiment: e.Name,
+				Title:      e.Title,
+				Parallel:   workers,
+				WallMS:     float64(time.Since(expStart).Microseconds()) / 1000,
+				Totals:     bench.CurrentTotals(),
+			}); err != nil {
 				fatal(err)
 			}
 		}

@@ -39,12 +39,13 @@ type Index struct {
 }
 
 type indexConfig struct {
-	pageSize    int
-	maxEntries  int
-	minEntries  int
-	bufferPages int
-	path        string
-	bulkFill    float64
+	pageSize     int
+	maxEntries   int
+	minEntries   int
+	bufferPages  int
+	bufferShards int
+	path         string
+	bulkFill     float64
 }
 
 // IndexOption configures NewIndex / BuildIndex / OpenIndex.
@@ -83,6 +84,21 @@ func WithBufferPages(pages int) IndexOption {
 	}
 }
 
+// WithBufferShards splits the index's buffer pool into n lock-striped
+// shards (default 1). One shard is the paper's exact global LRU; more
+// shards let the workers of a parallel query (WithParallelism) read pages
+// without serializing on a single mutex, at the cost of per-shard instead
+// of global replacement. Counters stay exact either way.
+func WithBufferShards(n int) IndexOption {
+	return func(c *indexConfig) error {
+		if n < 1 {
+			return fmt.Errorf("cpq: buffer shards must be >= 1, got %d", n)
+		}
+		c.bufferShards = n
+		return nil
+	}
+}
+
 // WithPath stores the index in a file on disk instead of in memory.
 func WithPath(path string) IndexOption {
 	return func(c *indexConfig) error {
@@ -108,7 +124,7 @@ func WithBulkLoad(fill float64) IndexOption {
 }
 
 func applyOptions(opts []IndexOption) (indexConfig, error) {
-	c := indexConfig{pageSize: 1024, bufferPages: 128}
+	c := indexConfig{pageSize: 1024, bufferPages: 128, bufferShards: 1}
 	for _, o := range opts {
 		if err := o(&c); err != nil {
 			return c, err
@@ -145,7 +161,7 @@ func NewIndex(opts ...IndexOption) (*Index, error) {
 	} else {
 		idx.file = storage.NewMemFile(c.pageSize)
 	}
-	idx.pool = storage.NewBufferPool(idx.file, c.bufferPages)
+	idx.pool = storage.NewShardedBufferPool(idx.file, c.bufferPages, c.bufferShards, storage.LRU)
 	tree, err := rtree.New(idx.pool, c.treeConfig())
 	if err != nil {
 		idx.file.Close()
@@ -199,7 +215,7 @@ func OpenIndex(path string, opts ...IndexOption) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool := storage.NewBufferPool(df, c.bufferPages)
+	pool := storage.NewShardedBufferPool(df, c.bufferPages, c.bufferShards, storage.LRU)
 	tree, err := rtree.Open(pool)
 	if err != nil {
 		df.Close()

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// parallelWorkerSchedule is the worker axis of the parallel-engine
+// ablation.
+var parallelWorkerSchedule = []int{1, 2, 4, 8}
+
+// buildParallelTree bulk-loads a uniform tree behind a lock-striped buffer
+// pool so a parallel join's workers do not serialize on one pool mutex.
+// Bulk loading (instead of the paper's repeated insertion) keeps the
+// full-scale experiment's setup time proportionate to its measurement.
+func buildParallelTree(cfg rtree.Config, seed int64, n int, shift float64) (*rtree.Tree, error) {
+	pool := storage.NewShardedBufferPool(storage.NewMemFile(cfg.PageSize), 512, 16, storage.LRU)
+	tr, err := rtree.New(pool, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pts := dataset.Uniform(seed, n)
+	items := make([]rtree.Item, len(pts))
+	for i, p := range pts {
+		items[i] = rtree.Item{Rect: p.Add(shift, 0).Rect(), Ref: int64(i)}
+	}
+	if err := tr.BulkLoad(items, 0.7); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// runParallel is the parallel-engine ablation: the K-CPQ HEAP algorithm
+// run with 1..8 workers over a shared frontier and an atomically tightened
+// pruning bound. It reports wall-clock speedup over the sequential
+// algorithm and the disk accesses of each run — the latter vary with the
+// worker count (and from run to run) because the traversal order, and thus
+// the buffer hit pattern and the tightening schedule of the bound T,
+// depends on goroutine scheduling. Worker counts above GOMAXPROCS add
+// coordination without parallelism; speedup is expected only below it.
+func runParallel(l *Lab, w io.Writer) error {
+	cfg := l.Config
+	if cfg.PageSize == 0 {
+		cfg = rtree.DefaultConfig()
+	}
+	n := l.ScaledN(100000)
+	ta, err := buildParallelTree(cfg, 91, n, 0)
+	if err != nil {
+		return err
+	}
+	tb, err := buildParallelTree(cfg, 92, n, 0)
+	if err != nil {
+		return err
+	}
+
+	t := newTable(
+		fmt.Sprintf("Ablation: parallel HEAP workers (uniform %d/%d bulk-loaded, 100%% overlap, K=100, B=512, 16-shard buffers, GOMAXPROCS=%d)",
+			n, n, runtime.GOMAXPROCS(0)),
+		"workers", "wall", "speedup", "accesses", "node pairs")
+	var base time.Duration
+	for _, workers := range parallelWorkerSchedule {
+		opts := core.DefaultOptions(core.Heap)
+		opts.Parallelism = workers
+		start := time.Now()
+		stats, err := RunCore(ta, tb, 100, opts, 512)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		if workers == 1 {
+			base = wall
+		}
+		speedup := "1.00x"
+		if workers > 1 && wall > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(base)/float64(wall))
+		}
+		t.addRow(fmt.Sprintf("%d", workers),
+			wall.Round(time.Microsecond).String(),
+			speedup,
+			fmt.Sprintf("%d", stats.Accesses()),
+			fmt.Sprintf("%d", stats.NodePairsProcessed))
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "workers=1 is the paper's sequential algorithm; accesses for workers>1 depend on scheduling.\n\n")
+	return err
+}

@@ -33,6 +33,7 @@ var registry = []Experiment{
 	{"costmodel", "Analytical cost model vs measured cost (future work (b))", runCostModel},
 	{"policies", "Ablation: LRU vs FIFO vs CLOCK buffer replacement", runPolicies},
 	{"semi", "Semi-CPQ: per-point NN vs batched leaf traversal", runSemi},
+	{"parallel", "Parallel HEAP engine: wall-clock speedup and accesses vs workers", runParallel},
 }
 
 // Experiments lists every registered experiment in presentation order.

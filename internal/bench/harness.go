@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -165,11 +166,60 @@ func prepare(ta, tb *rtree.Tree, bufferPages int) {
 	tb.Pool().ResetStats()
 }
 
+// defaultParallelism, when non-zero, overrides a zero Options.Parallelism
+// in RunCore: cpqbench -parallel plumbs through here so every experiment
+// can be re-run in parallel mode for disk-access-parity comparisons
+// without touching each experiment's option wiring.
+var defaultParallelism atomic.Int64
+
+// SetDefaultParallelism sets the worker count applied to experiments that
+// do not choose one themselves (0 restores the sequential default;
+// core.AutoParallelism selects GOMAXPROCS).
+func SetDefaultParallelism(n int) { defaultParallelism.Store(int64(n)) }
+
+// Totals aggregates the cost of every RunCore / RunIncremental call since
+// the last ResetTotals. cpqbench's -json mode snapshots it per experiment.
+type Totals struct {
+	Queries    int64 `json:"queries"`
+	Accesses   int64 `json:"accesses"`
+	NodePairs  int64 `json:"node_pairs"`
+	PointPairs int64 `json:"point_pairs"`
+}
+
+var totQueries, totAccesses, totNodePairs, totPointPairs atomic.Int64
+
+// ResetTotals zeroes the aggregate counters.
+func ResetTotals() {
+	totQueries.Store(0)
+	totAccesses.Store(0)
+	totNodePairs.Store(0)
+	totPointPairs.Store(0)
+}
+
+// CurrentTotals snapshots the aggregate counters.
+func CurrentTotals() Totals {
+	return Totals{
+		Queries:    totQueries.Load(),
+		Accesses:   totAccesses.Load(),
+		NodePairs:  totNodePairs.Load(),
+		PointPairs: totPointPairs.Load(),
+	}
+}
+
 // RunCore executes one K-CPQ with one of the paper's algorithms under the
 // given buffer size and returns its statistics.
 func RunCore(ta, tb *rtree.Tree, k int, opts core.Options, bufferPages int) (core.Stats, error) {
 	prepare(ta, tb, bufferPages)
+	if opts.Parallelism == 0 {
+		opts.Parallelism = int(defaultParallelism.Load())
+	}
 	_, stats, err := core.KClosestPairs(ta, tb, k, opts)
+	if err == nil {
+		totQueries.Add(1)
+		totAccesses.Add(stats.Accesses())
+		totNodePairs.Add(stats.NodePairsProcessed)
+		totPointPairs.Add(stats.PointPairsCompared)
+	}
 	return stats, err
 }
 
@@ -178,5 +228,9 @@ func RunCore(ta, tb *rtree.Tree, k int, opts core.Options, bufferPages int) (cor
 func RunIncremental(ta, tb *rtree.Tree, k int, opts incremental.Options, bufferPages int) (incremental.Stats, error) {
 	prepare(ta, tb, bufferPages)
 	_, stats, err := incremental.GetK(ta, tb, k, opts)
+	if err == nil {
+		totQueries.Add(1)
+		totAccesses.Add(stats.Accesses())
+	}
 	return stats, err
 }

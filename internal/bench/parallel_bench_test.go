@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rtree"
+)
+
+// parallelBenchTrees builds the 100,000 x 100,000 uniform workload once
+// for every sub-benchmark (bulk-loaded, 16-shard buffer pools).
+var parallelBenchTrees struct {
+	once   sync.Once
+	ta, tb *rtree.Tree
+	err    error
+}
+
+// BenchmarkParallelKCPQ is the speedup benchmark of the parallel HEAP
+// engine: a K=100 closest-pair join of two bulk-loaded 100,000-point
+// uniform trees at B=0 (every page read is a disk access, the paper's
+// hardest buffer setting), per worker count. On a 4-core runner the
+// 4-worker case is expected to run >= 2x faster than the sequential one:
+//
+//	go test -bench BenchmarkParallelKCPQ -run - .../internal/bench
+func BenchmarkParallelKCPQ(b *testing.B) {
+	parallelBenchTrees.once.Do(func() {
+		cfg := rtree.DefaultConfig()
+		parallelBenchTrees.ta, parallelBenchTrees.err = buildParallelTree(cfg, 91, 100000, 0)
+		if parallelBenchTrees.err != nil {
+			return
+		}
+		parallelBenchTrees.tb, parallelBenchTrees.err = buildParallelTree(cfg, 92, 100000, 0)
+	})
+	if parallelBenchTrees.err != nil {
+		b.Fatal(parallelBenchTrees.err)
+	}
+	ta, tb := parallelBenchTrees.ta, parallelBenchTrees.tb
+	for _, workers := range parallelWorkerSchedule {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := core.DefaultOptions(core.Heap)
+			opts.Parallelism = workers
+			var accesses int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := RunCore(ta, tb, 100, opts, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				accesses += stats.Accesses()
+			}
+			b.ReportMetric(float64(accesses)/float64(b.N), "accesses")
+		})
+	}
+}

@@ -37,23 +37,25 @@ func KClosestPairs(ta, tb *rtree.Tree, k int, opts Options) ([]Pair, Stats, erro
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	if opts.Algorithm == Heap {
+	switch {
+	case opts.Algorithm == Heap && opts.workers() > 1:
+		err = j.runHeapParallel(root, opts.workers())
+	case opts.Algorithm == Heap:
 		err = j.runHeap(root)
-	} else {
+	default:
 		err = j.runRecursive(root)
 	}
 	if err != nil {
 		return nil, Stats{}, err
 	}
 
-	if ta.Pool() == tb.Pool() {
-		// Shared pool (e.g. a self join): report the delta once.
-		j.stats.IOP = ta.Pool().Stats().Sub(startA)
-	} else {
-		j.stats.IOP = ta.Pool().Stats().Sub(startA)
-		j.stats.IOQ = tb.Pool().Stats().Sub(startB)
+	stats := j.stats.snapshot()
+	// With a shared pool (e.g. a self join) report the delta once.
+	stats.IOP = ta.Pool().Stats().Sub(startA)
+	if ta.Pool() != tb.Pool() {
+		stats.IOQ = tb.Pool().Stats().Sub(startB)
 	}
-	return j.results(), j.stats, nil
+	return j.results(), stats, nil
 }
 
 // ClosestPair finds the single closest pair (the 1-CPQ of Section 2.1),

@@ -17,9 +17,10 @@ type join struct {
 	// bound is the auxiliary pruning bound B (squared): the MINMAXDIST
 	// bound of Inequality 2 for K = 1, or the MAXMAXDIST prefix bound for
 	// K > 1 under KPruneMaxMax. The effective pruning distance T is
-	// min(bound, K-heap threshold).
+	// min(bound, K-heap threshold). Only the sequential algorithms use it;
+	// the parallel HEAP engine folds both sources into one atomic bound.
 	bound float64
-	stats Stats
+	stats statsAcc
 
 	rootAreaA, rootAreaB float64
 	useTie               bool
@@ -134,9 +135,22 @@ func (j *join) modeFor(na, nb *rtree.Node) expandMode {
 // from the generated MBR pairs. MINMINDIST values are computed for every
 // pruning algorithm; tie keys only when a tie strategy is active.
 func (j *join) expand(p nodePair, na, nb *rtree.Node) []nodePair {
+	subs, mode := j.computeSubs(p, na, nb)
+	if j.tightens() {
+		if b := j.boundCandidate(subs, mode, na, nb); b < j.bound {
+			j.bound = b
+		}
+	}
+	return subs
+}
+
+// computeSubs generates the candidate sub-pairs of a node pair with their
+// MINMINDIST (and tie keys when active). It only touches atomic state, so
+// the sequential driver and the parallel workers share it.
+func (j *join) computeSubs(p nodePair, na, nb *rtree.Node) ([]nodePair, expandMode) {
 	mode := j.modeFor(na, nb)
 	subs := j.expandRaw(p, na, nb)
-	j.stats.SubPairsGenerated += int64(len(subs))
+	j.stats.subPairsGenerated.Add(int64(len(subs)))
 
 	if j.prunes() {
 		for i := range subs {
@@ -149,19 +163,18 @@ func (j *join) expand(p nodePair, na, nb *rtree.Node) []nodePair {
 				j.rootAreaA, j.rootAreaB)
 		}
 	}
-	if j.tightens() {
-		j.tightenBound(subs, mode, na, nb)
-	}
-	return subs
+	return subs, mode
 }
 
-// tightenBound lowers the auxiliary pruning bound from the sub-pair MBR
-// metrics: via Inequality 2 (MINMAXDIST holds for at least one point pair)
+// boundCandidate computes the tightest auxiliary pruning bound the sub-pair
+// MBR metrics support, without mutating any join state (+Inf when nothing
+// applies): via Inequality 2 (MINMAXDIST holds for at least one point pair)
 // when K = 1, or via the MAXMAXDIST prefix rule when K > 1 and the
 // technical-report pruning variant is selected.
-func (j *join) tightenBound(subs []nodePair, mode expandMode, na, nb *rtree.Node) {
+func (j *join) boundCandidate(subs []nodePair, mode expandMode, na, nb *rtree.Node) float64 {
+	bound := math.Inf(1)
 	if len(subs) == 0 {
-		return
+		return bound
 	}
 	if j.k == 1 {
 		for i := range subs {
@@ -171,14 +184,14 @@ func (j *join) tightenBound(subs []nodePair, mode expandMode, na, nb *rtree.Node
 			} else {
 				mm = j.metric.MinMaxKey(subs[i].ra, subs[i].rb)
 			}
-			if mm < j.bound {
-				j.bound = mm
+			if mm < bound {
+				bound = mm
 			}
 		}
-		return
+		return bound
 	}
 	if j.opts.KPrune != KPruneMaxMax {
-		return
+		return bound
 	}
 	// K > 1: every point pair under a sub-pair has distance at most its
 	// MAXMAXDIST (Inequality 1, right side). Sub-pairs cover disjoint
@@ -213,12 +226,13 @@ func (j *join) tightenBound(subs []nodePair, mode expandMode, na, nb *rtree.Node
 	for i := range mcs {
 		cum += mcs[i].count
 		if cum >= float64(j.k) {
-			if mcs[i].maxmaxSq < j.bound {
-				j.bound = mcs[i].maxmaxSq
+			if mcs[i].maxmaxSq < bound {
+				bound = mcs[i].maxmaxSq
 			}
-			return
+			return bound
 		}
 	}
+	return bound
 }
 
 // guaranteedPoints returns the minimum number of data points in a non-root
@@ -239,21 +253,35 @@ func nodeGuaranteedPoints(m float64, n *rtree.Node) float64 {
 // scanLeaves performs step CP3: evaluate every point pair between two
 // leaves against the K-heap.
 func (j *join) scanLeaves(na, nb *rtree.Node) {
+	j.scanLeavesInto(na, nb, j.kheap)
+}
+
+// scanLeavesInto evaluates every point pair between two leaves against the
+// given K-heap (the join's own for the sequential algorithms, a worker's
+// local heap in parallel mode). It returns the smallest distance (squared)
+// the heap accepted, +Inf if none — the signal parallel workers use to
+// decide whether merging their local heap can tighten the published bound.
+func (j *join) scanLeavesInto(na, nb *rtree.Node, kh *kHeap) float64 {
+	minAccepted := math.Inf(1)
 	for i := range na.Entries {
 		ea := &na.Entries[i]
 		for t := range nb.Entries {
 			eb := &nb.Entries[t]
-			j.stats.PointPairsCompared++
 			d := j.metric.MinMinKey(ea.Rect, eb.Rect)
-			j.kheap.offer(kPair{
+			accepted := kh.offer(kPair{
 				distSq: d,
 				p:      [2]float64{ea.Rect.Min.X, ea.Rect.Min.Y},
 				q:      [2]float64{eb.Rect.Min.X, eb.Rect.Min.Y},
 				refP:   ea.Ref,
 				refQ:   eb.Ref,
 			})
+			if accepted && d < minAccepted {
+				minAccepted = d
+			}
 		}
 	}
+	j.stats.pointPairsCompared.Add(int64(len(na.Entries) * len(nb.Entries)))
+	return minAccepted
 }
 
 // readPair fetches both nodes of a pair, counting the accesses the paper
@@ -267,7 +295,7 @@ func (j *join) readPair(p nodePair) (na, nb *rtree.Node, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	j.stats.NodePairsProcessed++
+	j.stats.nodePairsProcessed.Add(1)
 	return na, nb, nil
 }
 

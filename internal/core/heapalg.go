@@ -58,9 +58,7 @@ func (j *join) runHeap(root nodePair) error {
 		h.push(root)
 	}
 	for h.Len() > 0 {
-		if h.Len() > j.stats.MaxQueueSize {
-			j.stats.MaxQueueSize = h.Len()
-		}
+		j.stats.observeQueueLen(h.Len())
 		p := h.pop()
 		if p.minminSq > j.T() {
 			// CP5: the heap is ordered, so no queued pair can qualify.
@@ -78,7 +76,7 @@ func (j *join) runHeap(root nodePair) error {
 		T := j.T()
 		for _, sp := range subs {
 			if sp.minminSq > T {
-				j.stats.SubPairsPruned++
+				j.stats.subPairsPruned.Add(1)
 				continue
 			}
 			h.push(sp)

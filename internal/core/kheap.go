@@ -38,6 +38,10 @@ func (h *kHeap) threshold() float64 {
 // full reports whether K pairs have been collected.
 func (h *kHeap) full() bool { return len(h.pairs) >= h.k }
 
+// reset empties the heap, keeping the backing array (parallel workers
+// reuse their local heap between merges).
+func (h *kHeap) reset() { h.pairs = h.pairs[:0] }
+
 // offer inserts a candidate pair if it qualifies, returning true when the
 // result set changed.
 func (h *kHeap) offer(p kPair) bool {

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/geom"
 	"repro/internal/sortx"
@@ -184,6 +185,33 @@ type Options struct {
 	// MBR bounds (MINMINDIST, MINMAXDIST, MAXMAXDIST) are computed under
 	// the same metric, preserving every pruning argument.
 	Metric geom.Metric
+	// Parallelism is the number of worker goroutines for the HEAP
+	// algorithm. 0 and 1 run the paper's sequential algorithm (the zero
+	// value keeps every existing call byte-identical, including disk
+	// access counts); N > 1 runs N workers over a shared frontier with an
+	// atomically tightened pruning bound; AutoParallelism (-1) uses
+	// runtime.GOMAXPROCS(0). The recursive algorithms (Naive, EXH, SIM,
+	// STD) ignore the knob: their pruning depends on depth-first T
+	// evolution and stays sequential. Parallel runs return the same K
+	// distances as sequential ones, but disk access counts may vary
+	// slightly run to run (see DESIGN.md, "Parallel execution").
+	Parallelism int
+}
+
+// AutoParallelism selects runtime.GOMAXPROCS(0) workers for the HEAP
+// algorithm.
+const AutoParallelism = -1
+
+// workers resolves the Parallelism knob to a concrete worker count.
+func (o Options) workers() int {
+	switch {
+	case o.Parallelism == AutoParallelism:
+		return runtime.GOMAXPROCS(0)
+	case o.Parallelism <= 1:
+		return 1
+	default:
+		return o.Parallelism
+	}
 }
 
 // DefaultOptions returns the paper's preferred configuration for the given
@@ -212,6 +240,9 @@ func (o Options) validate() error {
 	case KPruneMaxMax, KPruneHeapTop:
 	default:
 		return fmt.Errorf("core: unknown K pruning rule %d", int(o.KPrune))
+	}
+	if o.Parallelism < AutoParallelism {
+		return fmt.Errorf("core: invalid parallelism %d", o.Parallelism)
 	}
 	return nil
 }

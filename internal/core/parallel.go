@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the parallel execution mode of the HEAP algorithm
+// (Options.Parallelism > 1). The paper's pruning rules CP1-CP5 are
+// order-independent once a sound (over-estimating) upper bound T on the
+// K-th closest distance is maintained, so node pairs can be processed by
+// many workers concurrently:
+//
+//   - A shared frontier replaces the sequential pair heap: workers pop
+//     small batches of the globally best pairs under one lock acquisition
+//     and push surviving sub-pairs back in one acquisition, which keeps
+//     the best-first order approximately intact while cutting lock
+//     traffic by the batch size.
+//   - The pruning bound T lives in a single atomic as a squared distance
+//     and is only ever lowered (CAS tighten-only). Both sources of the
+//     sequential T — the auxiliary MINMAXDIST/MAXMAXDIST bound and the
+//     global K-heap threshold — fold into it. A worker may read a stale
+//     (larger) T, which can only make it prune less, never incorrectly.
+//   - Each worker accumulates leaf results in a local K-heap and merges
+//     it into the global K-heap under a single lock, but only when the
+//     local heap holds a pair that beats the published bound (or the
+//     global heap is not yet full, in which case T is still +Inf from the
+//     K-heap's perspective and any accepted pair qualifies).
+//
+// A pair is discarded only when its MINMINDIST exceeds T, and T is at all
+// times an upper bound on the final K-th distance; hence the parallel
+// mode returns exactly the same K distances as the sequential algorithms
+// (the pair set may be a different valid instance under exact distance
+// ties, as the paper already allows). Disk accesses stay exactly counted
+// by the pool's atomic counters, but their number may vary slightly from
+// run to run because the global processing order depends on scheduling.
+
+// parBatch is the number of node pairs a worker claims per frontier lock
+// acquisition. Larger batches cut lock traffic but deviate further from
+// strict best-first order (costing some extra node reads).
+const parBatch = 8
+
+// parHeap is the shared state of one parallel HEAP run.
+type parHeap struct {
+	j *join
+
+	// bound is the published pruning bound T (squared), tighten-only.
+	bound atomicMinFloat64
+
+	// gmu guards merging worker-local K-heaps into j.kheap.
+	gmu sync.Mutex
+
+	// mu guards the frontier heap, the busy-worker count and the first
+	// error; cond signals pushed work, errors and idleness.
+	mu       sync.Mutex
+	cond     sync.Cond
+	frontier pairHeap
+	busy     int
+	err      error
+}
+
+// atomicMinFloat64 is a float64 that can only decrease, stored as ordered
+// bits for lock-free CAS. All values used here are non-negative squared
+// distances (or +Inf), for which the IEEE-754 bit patterns order like the
+// values themselves.
+type atomicMinFloat64 struct {
+	bits atomic.Uint64
+}
+
+func (a *atomicMinFloat64) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+func (a *atomicMinFloat64) load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// tighten lowers the value to v if v is smaller (CAS loop; lost races just
+// retry against the new, smaller value).
+func (a *atomicMinFloat64) tighten(v float64) {
+	for {
+		old := a.bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// runHeapParallel drives the HEAP algorithm with the given number of
+// workers from the root pair. It fills j.kheap (the global K-heap) and the
+// shared atomic counters of j.stats; j.bound and the sequential T() are
+// not used.
+func (j *join) runHeapParallel(root nodePair, workers int) error {
+	s := &parHeap{j: j}
+	s.cond.L = &s.mu
+	s.bound.store(math.Inf(1))
+	if root.minminSq <= s.bound.load() {
+		s.frontier.push(root)
+		s.j.stats.observeQueueLen(s.frontier.Len())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.work()
+		}()
+	}
+	wg.Wait()
+	s.mu.Lock()
+	err := s.err
+	s.mu.Unlock()
+	return err
+}
+
+// work is one worker's loop: claim a batch of frontier pairs, process
+// them, merge local results when they can improve the global answer.
+func (s *parHeap) work() {
+	local := newKHeap(s.j.k)
+	localMin := math.Inf(1) // best accepted distance since the last merge
+	batch := make([]nodePair, 0, parBatch)
+	for {
+		batch = s.take(batch[:0])
+		if len(batch) == 0 {
+			break
+		}
+		for _, p := range batch {
+			// T may have tightened since the pair was queued.
+			if p.minminSq > s.bound.load() {
+				continue
+			}
+			if err := s.process(p, local, &localMin); err != nil {
+				s.fail(err)
+				break
+			}
+		}
+		if localMin < s.bound.load() {
+			// The local heap holds at least one pair that beats the
+			// published bound (or the bound is still +Inf): publish.
+			s.merge(local)
+			localMin = math.Inf(1)
+		}
+		s.release()
+	}
+	// Leftover local results (pairs that never individually beat the
+	// published bound can still be part of the final K).
+	s.merge(local)
+}
+
+// process handles one claimed node pair: read, scan leaves or expand,
+// tighten the published bound, push surviving sub-pairs.
+func (s *parHeap) process(p nodePair, local *kHeap, localMin *float64) error {
+	j := s.j
+	na, nb, err := j.readPair(p)
+	if err != nil {
+		return err
+	}
+	if na.IsLeaf() && nb.IsLeaf() {
+		if m := j.scanLeavesInto(na, nb, local); m < *localMin {
+			*localMin = m
+		}
+		return nil
+	}
+	subs, mode := j.computeSubs(p, na, nb)
+	if j.tightens() {
+		if b := j.boundCandidate(subs, mode, na, nb); !math.IsInf(b, 1) {
+			s.bound.tighten(b)
+		}
+	}
+	T := s.bound.load()
+	kept := subs[:0]
+	var pruned int64
+	for _, sp := range subs {
+		if sp.minminSq > T {
+			pruned++
+			continue
+		}
+		kept = append(kept, sp)
+	}
+	if pruned > 0 {
+		j.stats.subPairsPruned.Add(pruned)
+	}
+	if len(kept) > 0 {
+		s.push(kept)
+	}
+	return nil
+}
+
+// take claims up to parBatch pairs from the frontier, blocking while the
+// frontier is empty but other workers may still produce work. A nil return
+// means the run is over (frontier drained and all workers idle, or an
+// error was recorded). The claimed batch counts the worker as busy until
+// release.
+func (s *parHeap) take(dst []nodePair) []nodePair {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.err != nil {
+			return nil
+		}
+		if s.frontier.Len() > 0 {
+			// CP5, parallel form: T only ever tightens, so if even the
+			// best queued pair exceeds T the whole frontier is dead.
+			// (Busy workers can still push qualifying pairs afterwards:
+			// sub-pair MINMINDISTs grow monotonically down the tree but
+			// start from their parent's, not from the frontier top's.)
+			if s.frontier.pairs[0].minminSq > s.bound.load() {
+				s.frontier.pairs = s.frontier.pairs[:0]
+				continue
+			}
+			n := parBatch
+			if l := s.frontier.Len(); l < n {
+				n = l
+			}
+			for i := 0; i < n; i++ {
+				dst = append(dst, s.frontier.pop())
+			}
+			s.busy++
+			return dst
+		}
+		if s.busy == 0 {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// push publishes surviving sub-pairs to the frontier and wakes waiting
+// workers.
+func (s *parHeap) push(pairs []nodePair) {
+	s.mu.Lock()
+	for _, sp := range pairs {
+		s.frontier.push(sp)
+	}
+	s.j.stats.observeQueueLen(s.frontier.Len())
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// release marks the worker idle after a batch; the last idle worker with
+// an empty frontier wakes everyone so they can exit.
+func (s *parHeap) release() {
+	s.mu.Lock()
+	s.busy--
+	wake := s.busy == 0 && s.frontier.Len() == 0
+	s.mu.Unlock()
+	if wake {
+		s.cond.Broadcast()
+	}
+}
+
+// fail records the first error and wakes all workers.
+func (s *parHeap) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// merge folds a worker-local K-heap into the global one under the merge
+// lock and publishes the (possibly tightened) K-heap threshold.
+func (s *parHeap) merge(local *kHeap) {
+	if len(local.pairs) == 0 {
+		return
+	}
+	s.gmu.Lock()
+	for i := range local.pairs {
+		s.j.kheap.offer(local.pairs[i])
+	}
+	if s.j.kheap.full() {
+		s.bound.tighten(s.j.kheap.threshold())
+	}
+	s.gmu.Unlock()
+	local.reset()
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// distances extracts the (sorted) result distances of a K-CPQ run.
+func distances(pairs []Pair) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.Dist
+	}
+	return out
+}
+
+// sameDistances asserts two runs produced exactly the same distance
+// multiset. The K smallest distances of a point-pair population are
+// unique (unlike the pair sets, which may differ under exact ties), and
+// every path computes them with the same float64 operations, so exact
+// equality is required, not a tolerance.
+func sameDistances(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: distance %d = %.17g, want %.17g", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelMatchesSequential is the parallel-equivalence property test:
+// across K, tie strategies, height strategies and data distributions, the
+// parallel HEAP engine must return exactly the same K distances as the
+// sequential HEAP and STD algorithms (the pair sets are equally valid
+// instances under ties; checkAgainstBrute validates the instance).
+func TestParallelMatchesSequential(t *testing.T) {
+	type data struct {
+		name   string
+		ps, qs []geom.Point
+	}
+	uni := uniformPoints(4100, 900, 0)
+	uniQ := uniformPoints(4200, 800, 0.25)
+	clu := dataset.Clustered(4300, 900)
+	cluQ := dataset.Clustered(4400, 800)
+	datasets := []data{
+		{"uniform", uni, uniQ},
+		{"clustered", clu, cluQ},
+	}
+
+	for _, d := range datasets {
+		// Different page sizes give the two trees different heights, so
+		// both height strategies do real work.
+		ta := buildTree(t, d.ps, 256)
+		tb := buildTree(t, d.qs, 512)
+		if ta.Height() == tb.Height() {
+			t.Fatalf("%s: want different tree heights, got %d and %d",
+				d.name, ta.Height(), tb.Height())
+		}
+		for _, k := range []int{1, 10, 100} {
+			for _, height := range []HeightStrategy{FixAtRoot, FixAtLeaves} {
+				for _, tie := range TieStrategies() {
+					opts := DefaultOptions(Heap)
+					opts.Tie = tie
+					opts.Height = height
+
+					seqPairs, _, err := KClosestPairs(ta, tb, k, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := distances(seqPairs)
+
+					stdOpts := opts
+					stdOpts.Algorithm = SortedDistances
+					stdPairs, _, err := KClosestPairs(ta, tb, k, stdOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameDistances(t, d.name+"/STD", distances(stdPairs), want)
+
+					for _, workers := range []int{2, 4} {
+						popts := opts
+						popts.Parallelism = workers
+						parPairs, stats, err := KClosestPairs(ta, tb, k, popts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						label := d.name
+						sameDistances(t, label, distances(parPairs), want)
+						if stats.Accesses() <= 0 || stats.PointPairsCompared <= 0 {
+							t.Fatalf("%s: implausible parallel stats: %v", label, stats)
+						}
+					}
+				}
+			}
+		}
+		// Validate one parallel instance in full against brute force
+		// (refs, points, ordering), not just the distance multiset.
+		opts := DefaultOptions(Heap)
+		opts.Parallelism = 4
+		pairs, _, err := KClosestPairs(ta, tb, 10, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstBrute(t, pairs, d.ps, d.qs, 10)
+	}
+}
+
+// TestParallelismOneTakesSequentialPath: Parallelism 0 and 1 must run the
+// exact sequential algorithm — identical pairs and identical statistics,
+// including the paper's disk access counts.
+func TestParallelismOneTakesSequentialPath(t *testing.T) {
+	ps := uniformPoints(4500, 800, 0)
+	qs := uniformPoints(4600, 700, 0.5)
+	ta := buildTree(t, ps, 256)
+	tb := buildTree(t, qs, 256)
+
+	base := DefaultOptions(Heap)
+	wantPairs, wantStats, err := KClosestPairs(ta, tb, 25, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := base
+	one.Parallelism = 1
+	gotPairs, gotStats, err := KClosestPairs(ta, tb, 25, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats != wantStats {
+		t.Fatalf("Parallelism=1 stats = %v, want %v", gotStats, wantStats)
+	}
+	if len(gotPairs) != len(wantPairs) {
+		t.Fatalf("got %d pairs, want %d", len(gotPairs), len(wantPairs))
+	}
+	for i := range gotPairs {
+		if gotPairs[i] != wantPairs[i] {
+			t.Fatalf("pair %d = %v, want %v", i, gotPairs[i], wantPairs[i])
+		}
+	}
+}
+
+// TestParallelAutoAndValidation covers AutoParallelism resolution and the
+// Parallelism validation bound.
+func TestParallelAutoAndValidation(t *testing.T) {
+	ps := uniformPoints(4700, 300, 0)
+	qs := uniformPoints(4800, 300, 0.5)
+	ta := buildTree(t, ps, 256)
+	tb := buildTree(t, qs, 256)
+
+	opts := DefaultOptions(Heap)
+	opts.Parallelism = AutoParallelism
+	pairs, _, err := KClosestPairs(ta, tb, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstBrute(t, pairs, ps, qs, 5)
+
+	opts.Parallelism = AutoParallelism - 1
+	if _, _, err := KClosestPairs(ta, tb, 5, opts); err == nil {
+		t.Fatal("Parallelism below AutoParallelism must be rejected")
+	}
+}
+
+// TestParallelSurfacesInjectedReadErrors: a page read failure in any
+// worker must abort the whole parallel query with that error (not hang,
+// not panic).
+func TestParallelSurfacesInjectedReadErrors(t *testing.T) {
+	ps := uniformPoints(4900, 500, 0)
+	qs := uniformPoints(5000, 500, 0.5)
+	ta, fa := buildFaultTree(t, ps)
+	tb, _ := buildFaultTree(t, qs)
+
+	opts := DefaultOptions(Heap)
+	opts.Parallelism = 4
+	fa.FailReadAfter(5)
+	_, _, err := KClosestPairs(ta, tb, 10, opts)
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	fa.FailReadAfter(-1)
+
+	// The trees must still be usable after the aborted run.
+	pairs, _, err := KClosestPairs(ta, tb, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstBrute(t, pairs, ps, qs, 10)
+}
+
+// TestParallelSelfJoinSharedPool runs a parallel join of a tree with
+// itself (shared buffer pool) to exercise concurrent access to one pool
+// from both sides of the join.
+func TestParallelSelfJoinSharedPool(t *testing.T) {
+	ps := uniformPoints(5100, 600, 0)
+	ta := buildTree(t, ps, 256)
+
+	seq, _, err := KClosestPairs(ta, ta, 20, DefaultOptions(Heap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(Heap)
+	opts.Parallelism = 4
+	par, stats, err := KClosestPairs(ta, ta, 20, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDistances(t, "self", distances(par), distances(seq))
+	if stats.IOQ != (storage.IOStats{}) {
+		t.Fatalf("shared pool must report its delta once, got IOQ = %v", stats.IOQ)
+	}
+	for _, p := range par {
+		if p.Dist != 0 && math.IsNaN(p.Dist) {
+			t.Fatalf("bad distance %v", p)
+		}
+	}
+}

@@ -42,7 +42,7 @@ func WithinDistance(ta, tb *rtree.Tree, eps float64, opts Options, fn func(Pair)
 		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if p.minminSq > epsKey {
-			j.stats.SubPairsPruned++
+			j.stats.subPairsPruned.Add(1)
 			continue
 		}
 		na, nb, err := j.readPair(p)
@@ -54,7 +54,7 @@ func WithinDistance(ta, tb *rtree.Tree, eps float64, opts Options, fn func(Pair)
 				ea := &na.Entries[i]
 				for t := range nb.Entries {
 					eb := &nb.Entries[t]
-					j.stats.PointPairsCompared++
+					j.stats.pointPairsCompared.Add(1)
 					key := j.metric.MinMinKey(ea.Rect, eb.Rect)
 					if key > epsKey {
 						continue
@@ -81,24 +81,23 @@ func WithinDistance(ta, tb *rtree.Tree, eps float64, opts Options, fn func(Pair)
 		stack = append(stack, subs...)
 	}
 
-	if ta.Pool() == tb.Pool() {
-		j.stats.IOP = ta.Pool().Stats().Sub(startA)
-	} else {
-		j.stats.IOP = ta.Pool().Stats().Sub(startA)
-		j.stats.IOQ = tb.Pool().Stats().Sub(startB)
+	stats := j.stats.snapshot()
+	stats.IOP = ta.Pool().Stats().Sub(startA)
+	if ta.Pool() != tb.Pool() {
+		stats.IOQ = tb.Pool().Stats().Sub(startB)
 	}
-	return j.stats, nil
+	return stats, nil
 }
 
 // expandForRange generates sub-pairs pruned against the fixed bound.
 func (j *join) expandForRange(p nodePair, na, nb *rtree.Node, epsKey float64) []nodePair {
 	subs := j.expandRaw(p, na, nb)
-	j.stats.SubPairsGenerated += int64(len(subs))
+	j.stats.subPairsGenerated.Add(int64(len(subs)))
 	kept := subs[:0]
 	for _, sp := range subs {
 		sp.minminSq = j.metric.MinMinKey(sp.ra, sp.rb)
 		if sp.minminSq > epsKey {
-			j.stats.SubPairsPruned++
+			j.stats.subPairsPruned.Add(1)
 			continue
 		}
 		kept = append(kept, sp)

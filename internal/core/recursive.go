@@ -6,7 +6,7 @@ import "repro/internal/sortx"
 // from the given node pair.
 func (j *join) runRecursive(p nodePair) error {
 	if j.prunes() && p.minminSq > j.T() {
-		j.stats.SubPairsPruned++
+		j.stats.subPairsPruned.Add(1)
 		return nil
 	}
 	na, nb, err := j.readPair(p)
@@ -24,7 +24,7 @@ func (j *join) runRecursive(p nodePair) error {
 		T := j.T()
 		for _, sp := range subs {
 			if sp.minminSq > T {
-				j.stats.SubPairsPruned++
+				j.stats.subPairsPruned.Add(1)
 				continue
 			}
 			kept = append(kept, sp)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
@@ -42,4 +43,38 @@ func (s Stats) String() string {
 		"accesses=%d (P=%d Q=%d) nodePairs=%d subPairs=%d pruned=%d pointPairs=%d maxQueue=%d",
 		s.Accesses(), s.IOP.Reads, s.IOQ.Reads, s.NodePairsProcessed,
 		s.SubPairsGenerated, s.SubPairsPruned, s.PointPairsCompared, s.MaxQueueSize)
+}
+
+// statsAcc accumulates the work counters of one query with atomic
+// operations, so both the sequential algorithms and the parallel HEAP
+// workers share the same bookkeeping and the race detector stays clean.
+// IO deltas are attached when the query finishes (see snapshot callers).
+type statsAcc struct {
+	nodePairsProcessed atomic.Int64
+	subPairsGenerated  atomic.Int64
+	subPairsPruned     atomic.Int64
+	pointPairsCompared atomic.Int64
+	maxQueueSize       atomic.Int64
+}
+
+// observeQueueLen raises the queue high-water mark (CAS max-update).
+func (a *statsAcc) observeQueueLen(n int) {
+	v := int64(n)
+	for {
+		cur := a.maxQueueSize.Load()
+		if v <= cur || a.maxQueueSize.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// snapshot converts the accumulated counters into the public Stats value.
+func (a *statsAcc) snapshot() Stats {
+	return Stats{
+		NodePairsProcessed: a.nodePairsProcessed.Load(),
+		SubPairsGenerated:  a.subPairsGenerated.Load(),
+		SubPairsPruned:     a.subPairsPruned.Load(),
+		PointPairsCompared: a.pointPairsCompared.Load(),
+		MaxQueueSize:       int(a.maxQueueSize.Load()),
+	}
 }

@@ -227,12 +227,20 @@ func (t *Tree) Bounds() (geom.Rect, error) {
 
 // ReadNode fetches and decodes the node stored at page id. Each call goes
 // through the buffer pool and therefore counts as a page access on a miss.
+// Decoding happens under the pool's shard lock (BufferPool.View), so
+// ReadNode is safe for concurrent readers: the decoded Node owns its
+// entries and never aliases the pooled page buffer.
 func (t *Tree) ReadNode(id storage.PageID) (*Node, error) {
-	buf, err := t.pool.Get(id)
+	var n *Node
+	err := t.pool.View(id, func(buf []byte) error {
+		var derr error
+		n, derr = decodeNode(id, buf)
+		return derr
+	})
 	if err != nil {
 		return nil, err
 	}
-	return decodeNode(id, buf)
+	return n, nil
 }
 
 // writeNode encodes and stores a node at its page.

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Policy selects the page replacement policy of a BufferPool. The paper
@@ -43,19 +44,41 @@ func Policies() []Policy { return []Policy{LRU, FIFO, Clock} }
 // each query, split as B/2 pages per R-tree; a capacity of zero disables
 // caching entirely so every page read is a disk access. BufferPool counts
 // hits, misses (reads), writes and evictions; the miss counter is the
-// paper's "disk accesses" metric.
+// paper's "disk accesses" metric. The counters are atomic, so they stay
+// exact when many goroutines hammer the pool concurrently.
 //
-// BufferPool is safe for concurrent use. Get returns the pooled page slice
-// for efficiency; callers must treat it as read-only and must not retain it
-// across another pool call (it may be evicted and reused).
+// The pool is split into one or more lock-striped shards (pages map to
+// shards by page id). The default single shard is an exact global LRU and
+// reproduces the paper's replacement behaviour byte for byte; sharded
+// pools (NewShardedBufferPool) trade exact global LRU for per-shard LRU so
+// that concurrent readers do not serialize on one mutex.
+//
+// BufferPool is safe for concurrent use, with one caveat: Get returns the
+// pooled page slice for efficiency, and that slice may be evicted and
+// reused by a concurrent pool call. Single-goroutine callers may treat the
+// slice as read-only until their next pool call (the historical contract);
+// concurrent readers must use View, which runs the callback while the
+// shard lock pins the page.
 type BufferPool struct {
-	mu       sync.Mutex
-	file     PageFile
-	capacity int
-	policy   Policy
-	stats    IOStats
+	file   PageFile
+	policy Policy
+	shards []*bufShard
 
-	entries map[PageID]*bufEntry
+	// capMu serializes capacity changes (Resize) so the per-shard split
+	// stays consistent; capacity is the total across shards.
+	capMu    sync.Mutex
+	capacity int
+
+	hits, reads, writes, evictions atomic.Int64
+}
+
+// bufShard is one lock stripe: an independent replacement domain over the
+// pages that hash to it.
+type bufShard struct {
+	pool     *BufferPool
+	mu       sync.Mutex
+	capacity int
+	entries  map[PageID]*bufEntry
 	// Intrusive LRU list: head is most recently used, tail least.
 	head, tail *bufEntry
 	// free keeps evicted entries for reuse to avoid re-allocating page
@@ -80,32 +103,80 @@ func NewBufferPool(file PageFile, capacity int) *BufferPool {
 // NewBufferPoolWithPolicy wraps file with a page cache using the given
 // replacement policy.
 func NewBufferPoolWithPolicy(file PageFile, capacity int, policy Policy) *BufferPool {
+	return NewShardedBufferPool(file, capacity, 1, policy)
+}
+
+// NewShardedBufferPool wraps file with a page cache striped over the given
+// number of shards. Pages map to shards by page id; the total capacity is
+// distributed as evenly as possible across shards, each an independent
+// replacement domain. One shard is the exact global policy of the paper's
+// setup; more shards reduce lock contention for parallel queries at the
+// cost of an approximate global LRU (per-shard miss counts can deviate
+// slightly from the single-shard pool on the same access sequence).
+func NewShardedBufferPool(file PageFile, capacity, shards int, policy Policy) *BufferPool {
 	if capacity < 0 {
 		panic(fmt.Sprintf("storage: negative buffer capacity %d", capacity))
+	}
+	if shards < 1 {
+		panic(fmt.Sprintf("storage: buffer pool needs at least one shard, got %d", shards))
 	}
 	switch policy {
 	case LRU, FIFO, Clock:
 	default:
 		panic(fmt.Sprintf("storage: unknown replacement policy %d", int(policy)))
 	}
-	return &BufferPool{
+	b := &BufferPool{
 		file:     file,
-		capacity: capacity,
 		policy:   policy,
-		entries:  make(map[PageID]*bufEntry, capacity),
+		capacity: capacity,
+		shards:   make([]*bufShard, shards),
 	}
+	for i := range b.shards {
+		b.shards[i] = &bufShard{pool: b, entries: make(map[PageID]*bufEntry)}
+	}
+	b.splitCapacity(capacity)
+	return b
+}
+
+// splitCapacity distributes the total capacity over the shards: the first
+// capacity%shards shards get one extra page. Callers hold capMu (or are
+// the constructor).
+func (b *BufferPool) splitCapacity(capacity int) {
+	n := len(b.shards)
+	base, extra := capacity/n, capacity%n
+	for i, s := range b.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		s.mu.Lock()
+		s.capacity = c
+		s.evictOverflow()
+		s.mu.Unlock()
+	}
+}
+
+// shardFor maps a page id to its lock stripe.
+func (b *BufferPool) shardFor(id PageID) *bufShard {
+	if len(b.shards) == 1 {
+		return b.shards[0]
+	}
+	return b.shards[uint64(id)%uint64(len(b.shards))]
 }
 
 // Policy returns the pool's replacement policy.
 func (b *BufferPool) Policy() Policy { return b.policy }
 
+// Shards returns the number of lock stripes.
+func (b *BufferPool) Shards() int { return len(b.shards) }
+
 // File returns the underlying page file.
 func (b *BufferPool) File() PageFile { return b.file }
 
-// Capacity returns the pool capacity in pages.
+// Capacity returns the pool capacity in pages (total across shards).
 func (b *BufferPool) Capacity() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.capMu.Lock()
+	defer b.capMu.Unlock()
 	return b.capacity
 }
 
@@ -119,178 +190,211 @@ func (b *BufferPool) Allocate() (PageID, error) {
 
 // Get returns the contents of page id, reading it from the file on a miss.
 // The returned slice is owned by the pool: read-only, valid until the next
-// pool call.
+// pool call from any goroutine. Concurrent readers must use View instead,
+// which keeps the page pinned while the callback runs.
 func (b *BufferPool) Get(id PageID) ([]byte, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if e, ok := b.entries[id]; ok {
-		b.stats.Hits++
-		b.touch(e)
-		return e.data, nil
-	}
-	b.stats.Reads++
-	if b.capacity == 0 {
-		// Pass-through: use a single scratch entry kept on the free list.
-		e := b.takeFree()
-		if err := b.file.ReadPage(id, e.data); err != nil {
-			b.putFree(e)
-			return nil, err
-		}
-		data := e.data
-		b.putFree(e)
-		return data, nil
-	}
-	e := b.takeFree()
-	if err := b.file.ReadPage(id, e.data); err != nil {
-		b.putFree(e)
+	var out []byte
+	err := b.shardFor(id).view(id, func(data []byte) error {
+		out = data
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// View calls fn with the contents of page id while the page is pinned by
+// its shard lock, reading it from the file on a miss. The slice is only
+// valid for the duration of fn; fn must treat it as read-only and must not
+// call back into the pool (self-deadlock). This is the concurrency-safe
+// read path: unlike Get, the data cannot be evicted and reused by another
+// goroutine while fn runs.
+func (b *BufferPool) View(id PageID, fn func(data []byte) error) error {
+	return b.shardFor(id).view(id, fn)
+}
+
+func (s *bufShard) view(id PageID, fn func(data []byte) error) error {
+	b := s.pool
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[id]; ok {
+		b.hits.Add(1)
+		s.touch(e)
+		return fn(e.data)
+	}
+	b.reads.Add(1)
+	e := s.takeFree()
+	if err := b.file.ReadPage(id, e.data); err != nil {
+		s.putFree(e)
+		return err
+	}
+	if s.capacity == 0 {
+		// Pass-through: use a scratch entry kept on the free list.
+		err := fn(e.data)
+		s.putFree(e)
+		return err
+	}
 	e.id = id
-	b.insertFront(e)
-	b.entries[id] = e
-	b.evictOverflow()
-	return e.data, nil
+	s.insertFront(e)
+	s.entries[id] = e
+	s.evictOverflow()
+	return fn(e.data)
 }
 
 // Write stores buf as the contents of page id, write-through to the file,
 // and refreshes the cached copy if present (or caches it when capacity
 // allows).
 func (b *BufferPool) Write(id PageID, buf []byte) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	s := b.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := b.file.WritePage(id, buf); err != nil {
 		return err
 	}
-	b.stats.Writes++
-	if b.capacity == 0 {
+	b.writes.Add(1)
+	if s.capacity == 0 {
 		return nil
 	}
-	if e, ok := b.entries[id]; ok {
+	if e, ok := s.entries[id]; ok {
 		copy(e.data, buf)
-		b.touch(e)
+		s.touch(e)
 		return nil
 	}
-	e := b.takeFree()
+	e := s.takeFree()
 	copy(e.data, buf)
 	e.id = id
-	b.insertFront(e)
-	b.entries[id] = e
-	b.evictOverflow()
+	s.insertFront(e)
+	s.entries[id] = e
+	s.evictOverflow()
 	return nil
 }
 
 // Invalidate drops page id from the cache (used when a page is freed).
 func (b *BufferPool) Invalidate(id PageID) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if e, ok := b.entries[id]; ok {
-		b.unlink(e)
-		delete(b.entries, id)
-		b.putFree(e)
+	s := b.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[id]; ok {
+		s.unlink(e)
+		delete(s.entries, id)
+		s.putFree(e)
 	}
 }
 
 // Clear empties the cache without touching the statistics.
 func (b *BufferPool) Clear() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for id, e := range b.entries {
-		b.unlink(e)
-		delete(b.entries, id)
-		b.putFree(e)
+	for _, s := range b.shards {
+		s.mu.Lock()
+		for id, e := range s.entries {
+			s.unlink(e)
+			delete(s.entries, id)
+			s.putFree(e)
+		}
+		s.mu.Unlock()
 	}
 }
 
-// Resize changes the capacity, evicting LRU pages if shrinking.
+// Resize changes the total capacity, evicting LRU pages if shrinking.
 func (b *BufferPool) Resize(capacity int) {
 	if capacity < 0 {
 		panic(fmt.Sprintf("storage: negative buffer capacity %d", capacity))
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.capMu.Lock()
+	defer b.capMu.Unlock()
 	b.capacity = capacity
-	b.evictOverflow()
+	b.splitCapacity(capacity)
 }
 
 // Len returns the number of cached pages.
 func (b *BufferPool) Len() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.entries)
+	n := 0
+	for _, s := range b.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Each counter is individually
+// exact under concurrency; the snapshot as a whole is not a point-in-time
+// cut while other goroutines are mid-operation.
 func (b *BufferPool) Stats() IOStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	return IOStats{
+		Reads:     b.reads.Load(),
+		Writes:    b.writes.Load(),
+		Hits:      b.hits.Load(),
+		Evictions: b.evictions.Load(),
+	}
 }
 
 // ResetStats zeroes the counters (cache contents are preserved).
 func (b *BufferPool) ResetStats() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.stats = IOStats{}
+	b.reads.Store(0)
+	b.writes.Store(0)
+	b.hits.Store(0)
+	b.evictions.Store(0)
 }
 
-// locked helpers ------------------------------------------------------------
+// locked shard helpers ------------------------------------------------------
 
-func (b *BufferPool) takeFree() *bufEntry {
-	if e := b.free; e != nil {
-		b.free = e.next
+func (s *bufShard) takeFree() *bufEntry {
+	if e := s.free; e != nil {
+		s.free = e.next
 		e.next = nil
 		return e
 	}
-	return &bufEntry{data: make([]byte, b.file.PageSize())}
+	return &bufEntry{data: make([]byte, s.pool.file.PageSize())}
 }
 
-func (b *BufferPool) putFree(e *bufEntry) {
+func (s *bufShard) putFree(e *bufEntry) {
 	e.prev = nil
 	e.id = InvalidPageID
 	e.referenced = false
-	e.next = b.free
-	b.free = e
+	e.next = s.free
+	s.free = e
 }
 
-func (b *BufferPool) insertFront(e *bufEntry) {
+func (s *bufShard) insertFront(e *bufEntry) {
 	e.prev = nil
-	e.next = b.head
-	if b.head != nil {
-		b.head.prev = e
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
 	}
-	b.head = e
-	if b.tail == nil {
-		b.tail = e
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
 	}
 }
 
-func (b *BufferPool) unlink(e *bufEntry) {
+func (s *bufShard) unlink(e *bufEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
-		b.head = e.next
+		s.head = e.next
 	}
 	if e.next != nil {
 		e.next.prev = e.prev
 	} else {
-		b.tail = e.prev
+		s.tail = e.prev
 	}
 	e.prev, e.next = nil, nil
 }
 
-func (b *BufferPool) moveToFront(e *bufEntry) {
-	if b.head == e {
+func (s *bufShard) moveToFront(e *bufEntry) {
+	if s.head == e {
 		return
 	}
-	b.unlink(e)
-	b.insertFront(e)
+	s.unlink(e)
+	s.insertFront(e)
 }
 
 // touch records a page use according to the replacement policy.
-func (b *BufferPool) touch(e *bufEntry) {
-	switch b.policy {
+func (s *bufShard) touch(e *bufEntry) {
+	switch s.pool.policy {
 	case LRU:
-		b.moveToFront(e)
+		s.moveToFront(e)
 	case FIFO:
 		// Residency order only; uses are ignored.
 	case Clock:
@@ -298,24 +402,24 @@ func (b *BufferPool) touch(e *bufEntry) {
 	}
 }
 
-func (b *BufferPool) evictOverflow() {
-	for len(b.entries) > b.capacity {
-		victim := b.tail
+func (s *bufShard) evictOverflow() {
+	for len(s.entries) > s.capacity {
+		victim := s.tail
 		if victim == nil {
 			return
 		}
-		if b.policy == Clock {
+		if s.pool.policy == Clock {
 			// Second chance: rotate referenced pages to the front with
 			// their bit cleared until an unreferenced victim surfaces.
 			for victim.referenced {
 				victim.referenced = false
-				b.moveToFront(victim)
-				victim = b.tail
+				s.moveToFront(victim)
+				victim = s.tail
 			}
 		}
-		b.unlink(victim)
-		delete(b.entries, victim.id)
-		b.stats.Evictions++
-		b.putFree(victim)
+		s.unlink(victim)
+		delete(s.entries, victim.id)
+		s.pool.evictions.Add(1)
+		s.putFree(victim)
 	}
 }

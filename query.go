@@ -131,6 +131,26 @@ func WithMetric(m Metric) QueryOption {
 	return func(o *core.Options) { o.Metric = m }
 }
 
+// WithParallelism runs the HEAP algorithm with n worker goroutines over a
+// shared frontier with an atomically tightened pruning bound. n = 1 (the
+// default) is the paper's sequential algorithm; n <= 0 selects
+// runtime.GOMAXPROCS(0). Parallel runs return the same K distances as
+// sequential ones (under distance ties the pair set is an equally valid
+// instance), but disk access counts — the paper's cost metric — may vary
+// slightly from run to run because the traversal order depends on
+// goroutine scheduling. The recursive algorithms ignore the knob. Pair
+// WithParallelism with WithBufferShards on the indexes so concurrent page
+// reads do not serialize on one buffer-pool mutex.
+func WithParallelism(n int) QueryOption {
+	return func(o *core.Options) {
+		if n <= 0 {
+			o.Parallelism = core.AutoParallelism
+		} else {
+			o.Parallelism = n
+		}
+	}
+}
+
 func buildOptions(opts []QueryOption) core.Options {
 	o := core.DefaultOptions(core.Heap)
 	for _, f := range opts {
