@@ -1,10 +1,19 @@
 #!/bin/sh
-# ci.sh — the repository's check suite: vet, build, full tests, and the
-# race detector over the packages with concurrent code (the parallel
-# K-CPQ engine and the sharded buffer pool).
+# ci.sh — the repository's check suite: formatting, vet, build, the
+# repo-specific static analyzer (cpqlint, DESIGN.md §7), the full test
+# suite, and the race detector over the whole module (the parallel K-CPQ
+# engine and the sharded buffer pool make every package fair game for
+# concurrency bugs).
 set -eux
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" "$unformatted" >&2
+	exit 1
+fi
 
 go vet ./...
 go build ./...
+go run ./cmd/cpqlint ./...
 go test ./...
-go test -race ./internal/core/... ./internal/storage/...
+go test -race ./...

@@ -1,0 +1,89 @@
+// Command cpqlint is the repository's static analyzer. It loads the
+// requested packages from source (stdlib go/parser + go/types only, no
+// external tooling), runs the repo-specific invariant checks and prints
+// one "file:line: [check] message" diagnostic per finding, exiting with
+// status 1 when any survive //lint:ignore suppression. ci.sh runs it as a
+// hard gate over the whole module.
+//
+// Usage:
+//
+//	cpqlint ./...                            # lint the whole module
+//	cpqlint internal/core internal/storage   # specific package directories
+//	cpqlint -check sqrtfree,errprop ./...    # a subset of the checks
+//	cpqlint -list                            # list available checks
+//
+// The checks are bufferdiscipline (no BufferPool.Get/Put on paths
+// reachable from goroutines — concurrent readers must use View),
+// atomicfields (fields touched via sync/atomic must be atomic everywhere),
+// sqrtfree (no math.Sqrt on pruning/traversal hot paths outside the
+// result-reporting allowlist) and errprop (no discarded errors from the
+// storage / R-tree I/O layers). See DESIGN.md §7 for the contracts each
+// check guards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		checkList = flag.String("check", "", "comma-separated subset of checks to run (default: all)")
+		list      = flag.Bool("list", false, "list available checks and exit")
+	)
+	flag.Parse()
+
+	checks := lint.Checks()
+	if *list {
+		for _, c := range checks {
+			fmt.Println(c.Name())
+		}
+		return
+	}
+	if *checkList != "" {
+		byName := make(map[string]lint.Check, len(checks))
+		for _, c := range checks {
+			byName[c.Name()] = c
+		}
+		var selected []lint.Check
+		for _, name := range strings.Split(*checkList, ",") {
+			name = strings.TrimSpace(name)
+			c, ok := byName[name]
+			if !ok {
+				fatal(fmt.Errorf("unknown check %q (try -list)", name))
+			}
+			selected = append(selected, c)
+		}
+		checks = selected
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Run(prog, checks)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cpqlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpqlint:", err)
+	os.Exit(2)
+}

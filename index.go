@@ -164,8 +164,7 @@ func NewIndex(opts ...IndexOption) (*Index, error) {
 	idx.pool = storage.NewShardedBufferPool(idx.file, c.bufferPages, c.bufferShards, storage.LRU)
 	tree, err := rtree.New(idx.pool, c.treeConfig())
 	if err != nil {
-		idx.file.Close()
-		return nil, err
+		return nil, errors.Join(err, idx.file.Close())
 	}
 	idx.tree = tree
 	return idx, nil
@@ -218,8 +217,7 @@ func OpenIndex(path string, opts ...IndexOption) (*Index, error) {
 	pool := storage.NewShardedBufferPool(df, c.bufferPages, c.bufferShards, storage.LRU)
 	tree, err := rtree.Open(pool)
 	if err != nil {
-		df.Close()
-		return nil, err
+		return nil, errors.Join(err, df.Close())
 	}
 	return &Index{tree: tree, pool: pool, file: df, disk: df}, nil
 }
@@ -296,8 +294,7 @@ func (i *Index) Flush() error {
 // Close flushes and releases the index.
 func (i *Index) Close() error {
 	if err := i.Flush(); err != nil {
-		i.file.Close()
-		return err
+		return errors.Join(err, i.file.Close())
 	}
 	return i.file.Close()
 }

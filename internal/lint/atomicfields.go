@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicFields enforces the all-or-nothing contract of atomic access: a
+// struct field whose address is passed to a sync/atomic function anywhere
+// must be accessed through sync/atomic everywhere (a single plain read or
+// write of such a field is a data race), and a field of a sync/atomic type
+// (atomic.Int64 & co., or a struct embedding one, like the parallel
+// engine's tighten-only bound) must only be used as a method receiver or
+// through its address — copying the value tears the atomic.
+type AtomicFields struct{}
+
+// NewAtomicFields returns the check.
+func NewAtomicFields() *AtomicFields { return &AtomicFields{} }
+
+// Name implements Check.
+func (c *AtomicFields) Name() string { return "atomicfields" }
+
+// Run implements Check.
+func (c *AtomicFields) Run(prog *Program) []Diagnostic {
+	// Pass 1: collect every field whose address flows into a sync/atomic
+	// call, remembering one example site for the message.
+	atomicUse := make(map[*types.Var]token.Position)
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		walkFiles(pkg, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if f := addressedField(info, arg); f != nil {
+					if _, ok := atomicUse[f]; !ok {
+						atomicUse[f] = prog.position(arg.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag non-atomic uses of those fields, and value uses of
+	// fields whose type is intrinsically atomic.
+	var diags []Diagnostic
+	noCopyMemo := make(map[types.Type]bool)
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			var stack []ast.Node
+			ast.Inspect(file, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					if d := c.checkSelector(prog, info, sel, stack, atomicUse, noCopyMemo); d != nil {
+						diags = append(diags, *d)
+					}
+				}
+				stack = append(stack, n)
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// checkSelector inspects one field selection in its syntactic context
+// (stack holds the ancestors, innermost last) and returns a diagnostic if
+// the access violates the atomic contract.
+func (c *AtomicFields) checkSelector(prog *Program, info *types.Info, sel *ast.SelectorExpr,
+	stack []ast.Node, atomicUse map[*types.Var]token.Position, memo map[types.Type]bool) *Diagnostic {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	var parent ast.Node
+	if len(stack) > 0 {
+		parent = stack[len(stack)-1]
+	}
+
+	if site, used := atomicUse[field]; used {
+		if c.isAtomicArg(info, stack) {
+			return nil
+		}
+		d := Diagnostic{
+			Pos:   prog.position(sel.Pos()),
+			Check: c.Name(),
+			Message: fmt.Sprintf(
+				"field %s is accessed with sync/atomic at %s:%d; this plain access is a data race — use sync/atomic here too",
+				fieldName(field), site.Filename, site.Line),
+		}
+		return &d
+	}
+
+	if isAtomicType(field.Type(), memo) {
+		switch p := parent.(type) {
+		case *ast.SelectorExpr:
+			if p.X == sel {
+				return nil // receiver of a method call or deeper selection
+			}
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return nil // address taken, value not copied
+			}
+		}
+		d := Diagnostic{
+			Pos:   prog.position(sel.Pos()),
+			Check: c.Name(),
+			Message: fmt.Sprintf(
+				"field %s has atomic type %s; reading, writing or copying the value tears the atomic — use its methods",
+				fieldName(field), field.Type()),
+		}
+		return &d
+	}
+	return nil
+}
+
+// isAtomicArg reports whether the selector whose ancestors are stack is
+// being passed as &field directly into a sync/atomic call.
+func (c *AtomicFields) isAtomicArg(info *types.Info, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	unary, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := staticCallee(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedField resolves an argument expression of the form &x.f to the
+// field object f, or nil.
+func addressedField(info *types.Info, arg ast.Expr) *types.Var {
+	unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	field, _ := selection.Obj().(*types.Var)
+	return field
+}
+
+// isAtomicType reports whether t is a sync/atomic type or a composite that
+// contains one (recursively through named types, structs and arrays).
+func isAtomicType(t types.Type, memo map[types.Type]bool) bool {
+	if v, ok := memo[t]; ok {
+		return v
+	}
+	memo[t] = false // cycle guard
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		if pkg := u.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			result = true
+		} else {
+			result = isAtomicType(u.Underlying(), memo)
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if isAtomicType(u.Field(i).Type(), memo) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = isAtomicType(u.Elem(), memo)
+	}
+	memo[t] = result
+	return result
+}
+
+// fieldName renders a field as Struct.field for messages.
+func fieldName(f *types.Var) string {
+	return fmt.Sprintf("%s.%s", ownerName(f), f.Name())
+}
+
+// ownerName finds the name of the struct type declaring field f, falling
+// back to the package name.
+func ownerName(f *types.Var) string {
+	if pkg := f.Pkg(); pkg != nil {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == f {
+					return tn.Name()
+				}
+			}
+		}
+		return pkg.Name()
+	}
+	return "?"
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// BufferDiscipline enforces the buffer pool's concurrency contract: Get
+// returns the pooled page slice, which a concurrent eviction may reuse
+// while the caller still reads it, so any function reachable from a
+// goroutine spawn must use View (which pins the page under the shard lock
+// for the duration of the callback). The check finds every go statement in
+// the analyzed packages, walks the callgraph from the spawned functions
+// and flags reachable calls to BufferPool.Get or BufferPool.Put.
+type BufferDiscipline struct {
+	// PoolPkg is the import-path fragment of the package declaring the
+	// pool type (matched with pathInScope).
+	PoolPkg string
+	// PoolType is the name of the pool type.
+	PoolType string
+	// Methods are the method names concurrent code must not call.
+	Methods []string
+}
+
+// NewBufferDiscipline returns the check configured for
+// internal/storage.BufferPool.
+func NewBufferDiscipline() *BufferDiscipline {
+	return &BufferDiscipline{
+		PoolPkg:  "internal/storage",
+		PoolType: "BufferPool",
+		Methods:  []string{"Get", "Put"},
+	}
+}
+
+// Name implements Check.
+func (c *BufferDiscipline) Name() string { return "bufferdiscipline" }
+
+// Run implements Check.
+func (c *BufferDiscipline) Run(prog *Program) []Diagnostic {
+	g := buildCallgraph(prog)
+	reach := g.reachableFromGo()
+	var diags []Diagnostic
+	for node, spawn := range reach {
+		for _, call := range g.calls[node] {
+			if !c.isForbidden(call.callee) {
+				continue
+			}
+			spawnPos := prog.position(spawn)
+			diags = append(diags, Diagnostic{
+				Pos:   prog.position(call.pos),
+				Check: c.Name(),
+				Message: fmt.Sprintf(
+					"(*%s).%s called on a path reachable from a goroutine (go statement at %s:%d); concurrent readers must use View",
+					c.PoolType, call.callee.Name(), spawnPos.Filename, spawnPos.Line),
+			})
+		}
+	}
+	return diags
+}
+
+// isForbidden reports whether fn is one of the pool methods banned on
+// concurrent paths.
+func (c *BufferDiscipline) isForbidden(fn *types.Func) bool {
+	named := false
+	for _, m := range c.Methods {
+		if fn.Name() == m {
+			named = true
+			break
+		}
+	}
+	if !named || fn.Pkg() == nil || !pathInScope(fn.Pkg().Path(), []string{c.PoolPkg}) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named2, ok := recv.(*types.Named)
+	return ok && named2.Obj().Name() == c.PoolType
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The callgraph built here is deliberately "lite": nodes are declared
+// functions (identified by their *types.Func) and function literals
+// (identified by their *ast.FuncLit), and edges are the statically
+// resolvable calls — direct calls of package functions, method calls whose
+// receiver type is concrete, and an over-approximating edge from every
+// function to the literals nested in its body (a literal may run whenever
+// its encloser does: it is called inline, deferred, or passed as a
+// callback). Calls through interfaces or function-typed values are not
+// traced further; the engine's concurrent paths are all direct calls, and
+// a missed edge here fails loud in review, not silent in production.
+
+// cgCall is one statically resolved call site.
+type cgCall struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// cgRoot is a function started by a go statement.
+type cgRoot struct {
+	node any // *types.Func or *ast.FuncLit
+	pos  token.Pos
+}
+
+// callgraph holds the nodes, edges, call sites and goroutine roots of the
+// analyzed packages.
+type callgraph struct {
+	// edges maps a node (*types.Func or *ast.FuncLit) to its successors.
+	edges map[any][]any
+	// calls maps a node to the call sites appearing directly in its body.
+	calls map[any][]cgCall
+	// roots are the functions spawned by go statements.
+	roots []cgRoot
+}
+
+// buildCallgraph constructs the callgraph over the bodies of all functions
+// declared in prog.Packages.
+func buildCallgraph(prog *Program) *callgraph {
+	g := &callgraph{
+		edges: make(map[any][]any),
+		calls: make(map[any][]cgCall),
+	}
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Body != nil {
+					if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+						g.walkBody(info, fn, fd.Body)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// walkBody records the calls, nested literals and go statements of one
+// function body under the node `from`.
+func (g *callgraph) walkBody(info *types.Info, from any, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			g.edges[from] = append(g.edges[from], n)
+			g.walkBody(info, n, n.Body)
+			return false // the nested walk owns the literal's body
+		case *ast.GoStmt:
+			g.addRoot(info, n)
+			// Fall through into the call so argument expressions (and the
+			// spawned callee itself, when resolvable) are still recorded as
+			// ordinary work of the encloser.
+		case *ast.CallExpr:
+			if callee := staticCallee(info, n); callee != nil {
+				g.edges[from] = append(g.edges[from], callee)
+				g.calls[from] = append(g.calls[from], cgCall{callee: callee, pos: n.Lparen})
+			}
+		}
+		return true
+	})
+}
+
+// addRoot records the function started by a go statement.
+func (g *callgraph) addRoot(info *types.Info, stmt *ast.GoStmt) {
+	fun := ast.Unparen(stmt.Call.Fun)
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		g.roots = append(g.roots, cgRoot{node: lit, pos: stmt.Go})
+		return
+	}
+	if fn := staticCallee(info, stmt.Call); fn != nil {
+		g.roots = append(g.roots, cgRoot{node: fn, pos: stmt.Go})
+	}
+}
+
+// staticCallee resolves a call expression to the *types.Func it invokes,
+// or nil when the callee is dynamic (a function value), a builtin, or a
+// type conversion.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.Func).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// reachableFromGo runs a BFS from every go-statement root and returns, for
+// each reachable node, the root spawn site that first reached it.
+func (g *callgraph) reachableFromGo() map[any]token.Pos {
+	reach := make(map[any]token.Pos)
+	var queue []any
+	for _, r := range g.roots {
+		if _, ok := reach[r.node]; !ok {
+			reach[r.node] = r.pos
+			queue = append(queue, r.node)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, succ := range g.edges[n] {
+			if _, ok := reach[succ]; !ok {
+				reach[succ] = reach[n]
+				queue = append(queue, succ)
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrProp enforces error propagation at the storage boundary: the paper's
+// cost metric is counted in the buffer pool, so a swallowed I/O error does
+// not just lose data — it silently corrupts every experiment downstream.
+// The check flags two shapes of discarded error:
+//
+//   - a call to a function or method declared in the storage or R-tree
+//     packages whose error result is dropped (bare call statement,
+//     deferred or go'ed call, or an assignment to _), wherever the call
+//     site is; and
+//   - any call with a dropped error result when the call site itself is
+//     inside the storage or R-tree packages (their internal file handling
+//     must be airtight too).
+type ErrProp struct {
+	// CalleeScopes are import-path fragments: calls into these packages
+	// must propagate errors at every call site in the module.
+	CalleeScopes []string
+	// SiteScopes are import-path fragments: code inside these packages
+	// must propagate every error, whoever the callee is.
+	SiteScopes []string
+}
+
+// NewErrProp returns the check configured for the I/O layers.
+func NewErrProp() *ErrProp {
+	scopes := []string{"internal/storage", "internal/rtree"}
+	return &ErrProp{CalleeScopes: scopes, SiteScopes: scopes}
+}
+
+// Name implements Check.
+func (c *ErrProp) Name() string { return "errprop" }
+
+// Run implements Check.
+func (c *ErrProp) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		siteScoped := pathInScope(pkg.ImportPath, c.SiteScopes)
+		walkFiles(pkg, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					diags = c.checkDropAll(prog, info, siteScoped, call, "", diags)
+				}
+			case *ast.DeferStmt:
+				diags = c.checkDropAll(prog, info, siteScoped, n.Call, "deferred ", diags)
+			case *ast.GoStmt:
+				diags = c.checkDropAll(prog, info, siteScoped, n.Call, "goroutine ", diags)
+			case *ast.AssignStmt:
+				diags = c.checkAssign(prog, info, siteScoped, n, diags)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkDropAll handles statements that discard every result of a call.
+func (c *ErrProp) checkDropAll(prog *Program, info *types.Info, siteScoped bool,
+	call *ast.CallExpr, kind string, diags []Diagnostic) []Diagnostic {
+	sig := callSignature(info, call)
+	if sig == nil || !hasErrorResult(sig) {
+		return diags
+	}
+	if !c.qualifies(info, call, siteScoped) {
+		return diags
+	}
+	return append(diags, Diagnostic{
+		Pos:   prog.position(call.Pos()),
+		Check: c.Name(),
+		Message: fmt.Sprintf("%scall to %s discards its error result; handle or propagate it",
+			kind, calleeLabel(info, call)),
+	})
+}
+
+// checkAssign flags blank-identifier assignments of error results
+// (`_ = f()` and `v, _ := g()`).
+func (c *ErrProp) checkAssign(prog *Program, info *types.Info, siteScoped bool,
+	stmt *ast.AssignStmt, diags []Diagnostic) []Diagnostic {
+	// One call expanding to the whole LHS, or element-wise RHS.
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return diags
+		}
+		tuple, ok := info.Types[call].Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(stmt.Lhs) {
+			return diags
+		}
+		for i, lhs := range stmt.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) && c.qualifies(info, call, siteScoped) {
+				diags = append(diags, Diagnostic{
+					Pos:   prog.position(call.Pos()),
+					Check: c.Name(),
+					Message: fmt.Sprintf("error result of %s assigned to _; handle or propagate it",
+						calleeLabel(info, call)),
+				})
+			}
+		}
+		return diags
+	}
+	for i, rhs := range stmt.Rhs {
+		if i >= len(stmt.Lhs) || !isBlank(stmt.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if tv, ok := info.Types[call]; !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		if !c.qualifies(info, call, siteScoped) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   prog.position(call.Pos()),
+			Check: c.Name(),
+			Message: fmt.Sprintf("error result of %s assigned to _; handle or propagate it",
+				calleeLabel(info, call)),
+		})
+	}
+	return diags
+}
+
+// qualifies reports whether a discarded-error call is in scope: the callee
+// is declared in a callee-scoped package, or the call site lies in a
+// site-scoped package.
+func (c *ErrProp) qualifies(info *types.Info, call *ast.CallExpr, siteScoped bool) bool {
+	if siteScoped {
+		return true
+	}
+	fn := staticCallee(info, call)
+	return fn != nil && fn.Pkg() != nil && pathInScope(fn.Pkg().Path(), c.CalleeScopes)
+}
+
+// callSignature returns the signature of the called function, or nil for
+// conversions and builtins.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// hasErrorResult reports whether any result of sig is of type error.
+func hasErrorResult(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error type.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// calleeLabel renders the called function for messages: (*T).M, T.M or
+// pkg.F when statically known, "function value" otherwise.
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	fn := staticCallee(info, call)
+	if fn == nil {
+		return "function value"
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, okp := recv.(*types.Pointer); okp {
+			if named, okn := ptr.Elem().(*types.Named); okn {
+				return fmt.Sprintf("(*%s.%s).%s", named.Obj().Pkg().Name(), named.Obj().Name(), fn.Name())
+			}
+		}
+		if named, okn := recv.(*types.Named); okn && named.Obj().Pkg() != nil {
+			return fmt.Sprintf("%s.%s.%s", named.Obj().Pkg().Name(), named.Obj().Name(), fn.Name())
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fmt.Sprintf("%s.%s", fn.Pkg().Name(), fn.Name())
+	}
+	return fn.Name()
+}

@@ -1,0 +1,177 @@
+// Package lint is a from-scratch static analyzer for this repository,
+// built directly on the standard library's go/parser + go/ast + go/types
+// stack (no golang.org/x/tools dependency). It loads every package of the
+// module from source, builds a lightweight callgraph over the typed ASTs
+// and enforces the engine's cross-cutting invariants:
+//
+//   - bufferdiscipline: code reachable from a goroutine must read pages
+//     through BufferPool.View, never Get/Put — Get hands out the pooled
+//     slice, which a concurrent eviction may reuse under the reader.
+//   - atomicfields: a struct field accessed through sync/atomic anywhere
+//     must be accessed atomically everywhere, and fields of sync/atomic
+//     types must only be touched through their methods.
+//   - sqrtfree: the pruning and traversal hot paths compare squared
+//     distances; math.Sqrt is reserved for the final result-reporting
+//     functions (MINMINDIST <= MINMAXDIST <= MAXMAXDIST ordering is
+//     preserved by squaring, so comparisons never need the root).
+//   - errprop: errors returned by the storage and R-tree I/O layers must
+//     not be discarded with `_ =` or a bare call.
+//
+// A finding can be suppressed by the line comment
+//
+//	//lint:ignore <check> <reason>
+//
+// on the offending line or the line directly above it; the reason is
+// mandatory. Diagnostics print as "file:line: [check] message" and the
+// cpqlint command exits non-zero when any survive, which is how ci.sh
+// turns these conventions into build failures.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one check.
+type Diagnostic struct {
+	// Pos locates the finding; the file name is relative to the module
+	// root.
+	Pos token.Position
+	// Check is the name of the check that produced the finding (or
+	// "lint" for problems with suppression directives themselves).
+	Check string
+	// Message describes the violation.
+	Message string
+}
+
+// String formats the diagnostic as "file:line: [check] message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
+}
+
+// Check is one analysis run over a loaded program.
+type Check interface {
+	// Name is the identifier used in diagnostics and ignore directives.
+	Name() string
+	// Run analyzes prog.Packages and returns its findings.
+	Run(prog *Program) []Diagnostic
+}
+
+// Checks returns the repository's check suite with its production
+// configuration.
+func Checks() []Check {
+	return []Check{
+		NewBufferDiscipline(),
+		NewAtomicFields(),
+		NewSqrtFree(),
+		NewErrProp(),
+	}
+}
+
+// Run executes the checks over prog, applies //lint:ignore suppressions
+// and returns the surviving diagnostics sorted by position.
+func Run(prog *Program, checks []Check) []Diagnostic {
+	var diags []Diagnostic
+	for _, c := range checks {
+		diags = append(diags, c.Run(prog)...)
+	}
+	known := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		known[c.Name()] = true
+	}
+	diags = applyIgnores(prog, known, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// ignoreKey identifies the scope of one suppression directive: a check
+// name on one line of one file (the directive covers its own line and the
+// line below).
+type ignoreKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// applyIgnores drops diagnostics covered by well-formed //lint:ignore
+// directives and reports malformed or unknown-check directives as findings
+// of the built-in "lint" pseudo-check.
+func applyIgnores(prog *Program, known map[string]bool, diags []Diagnostic) []Diagnostic {
+	ignores := make(map[ignoreKey]bool)
+	var problems []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := prog.position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						problems = append(problems, Diagnostic{
+							Pos:     pos,
+							Check:   "lint",
+							Message: `malformed directive: want "//lint:ignore <check> <reason>"`,
+						})
+						continue
+					}
+					check := fields[0]
+					if !known[check] {
+						problems = append(problems, Diagnostic{
+							Pos:     pos,
+							Check:   "lint",
+							Message: fmt.Sprintf("ignore directive names unknown check %q", check),
+						})
+						continue
+					}
+					ignores[ignoreKey{pos.Filename, pos.Line, check}] = true
+				}
+			}
+		}
+	}
+	kept := problems
+	for _, d := range diags {
+		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
+			ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// pathInScope reports whether an import path falls under any of the scope
+// fragments (substring match on the slash-separated path, so
+// "internal/core" covers both the real package and nested fixtures).
+func pathInScope(path string, scopes []string) bool {
+	for _, s := range scopes {
+		if strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkFiles applies fn to every node of every file of pkg.
+func walkFiles(pkg *Package, fn func(n ast.Node) bool) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, fn)
+	}
+}

@@ -1,0 +1,151 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// moduleDir locates the repository root from the test's working directory
+// (internal/lint).
+func moduleDir(t *testing.T) string {
+	t.Helper()
+	mod, err := lint.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod.Dir
+}
+
+// runCheck loads the given patterns relative to the module root and runs a
+// single check through the full driver (including suppression handling).
+func runCheck(t *testing.T, check lint.Check, patterns ...string) []lint.Diagnostic {
+	t.Helper()
+	prog, err := lint.Load(moduleDir(t), patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.Run(prog, []lint.Check{check})
+}
+
+// TestGolden pins each check's behavior on its fixture package: the
+// formatted diagnostics must match the committed golden file exactly
+// (regenerate with `go test ./internal/lint -run Golden -update`).
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		check    lint.Check
+		patterns []string
+	}{
+		{lint.NewBufferDiscipline(), []string{"internal/lint/testdata/src/bufferdiscipline"}},
+		{lint.NewAtomicFields(), []string{"internal/lint/testdata/src/atomicfields"}},
+		{lint.NewSqrtFree(), []string{"internal/lint/testdata/src/sqrtfree/..."}},
+		{lint.NewErrProp(), []string{"internal/lint/testdata/src/errprop/..."}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.check.Name(), func(t *testing.T) {
+			diags := runCheck(t, tc.check, tc.patterns...)
+			var lines []string
+			for _, d := range diags {
+				lines = append(lines, d.String())
+			}
+			got := strings.Join(lines, "\n") + "\n"
+			golden := filepath.Join(moduleDir(t), "internal/lint/testdata", tc.check.Name()+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestFixturesFindSomething guards against a check silently going blind:
+// every fixture run must produce at least one finding of its own check.
+func TestFixturesFindSomething(t *testing.T) {
+	cases := []struct {
+		check    lint.Check
+		patterns []string
+	}{
+		{lint.NewBufferDiscipline(), []string{"internal/lint/testdata/src/bufferdiscipline"}},
+		{lint.NewAtomicFields(), []string{"internal/lint/testdata/src/atomicfields"}},
+		{lint.NewSqrtFree(), []string{"internal/lint/testdata/src/sqrtfree/..."}},
+		{lint.NewErrProp(), []string{"internal/lint/testdata/src/errprop/..."}},
+	}
+	for _, tc := range cases {
+		found := false
+		for _, d := range runCheck(t, tc.check, tc.patterns...) {
+			if d.Check == tc.check.Name() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no findings on its fixture package", tc.check.Name())
+		}
+	}
+}
+
+// TestSuppression asserts the //lint:ignore mechanics directly: the
+// suppressed sqrtfree site in the fixture must not appear, while the
+// unsuppressed ones must.
+func TestSuppression(t *testing.T) {
+	diags := runCheck(t, lint.NewSqrtFree(), "internal/lint/testdata/src/sqrtfree/...")
+	for _, d := range diags {
+		if strings.Contains(d.Message, "legacy") {
+			t.Errorf("suppressed finding leaked: %s", d)
+		}
+	}
+	if len(diags) != 2 {
+		t.Errorf("want exactly the 2 prune findings, got %d: %v", len(diags), diags)
+	}
+}
+
+// TestCleanRepo asserts the real module lints clean with the production
+// check suite — the repository's own code is the fifth fixture, pinned to
+// zero findings.
+func TestCleanRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	prog, err := lint.Load(moduleDir(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(prog, lint.Checks())
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestRealRepoCoverage asserts the checks are actually exercising the real
+// engine: the whole-module load must include the parallel engine's
+// goroutine spawn and the storage pool, i.e. the clean result above is not
+// an artifact of loading nothing.
+func TestRealRepoCoverage(t *testing.T) {
+	prog, err := lint.Load(moduleDir(t), "internal/core", "internal/storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Packages) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(prog.Packages))
+	}
+	for _, pkg := range prog.Packages {
+		if pkg.Types == nil || len(pkg.Files) == 0 {
+			t.Errorf("package %s loaded without types or files", pkg.ImportPath)
+		}
+	}
+}

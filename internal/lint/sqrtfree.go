@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// SqrtFree keeps the pruning and traversal hot paths free of math.Sqrt.
+// All of the paper's pruning comparisons (MINMINDIST / MINMAXDIST /
+// MAXMAXDIST against the bound T) are order-preserving under squaring, so
+// the engine compares squared distances end to end and takes a single root
+// only when reporting final results. A stray Sqrt in a comparison is both
+// a silent performance regression and a numerical-robustness hazard; this
+// check flags every math.Sqrt call in the hot-path packages outside an
+// explicit allowlist of result-reporting functions.
+type SqrtFree struct {
+	// Scopes are the import-path fragments of the hot-path packages.
+	Scopes []string
+	// Allow lists the top-level functions (and methods, by bare name)
+	// that may call math.Sqrt: the final result-reporting converters.
+	Allow map[string]bool
+}
+
+// NewSqrtFree returns the check configured for the engine's hot-path
+// packages and their reporting functions.
+func NewSqrtFree() *SqrtFree {
+	return &SqrtFree{
+		Scopes: []string{"internal/core", "internal/geom", "internal/rtree"},
+		Allow: map[string]bool{
+			"Dist":                true, // Point.Dist, Metric.Dist
+			"KeyToDist":           true, // Metric key -> reported distance
+			"MinMinDist":          true,
+			"MinMaxDist":          true,
+			"MaxMaxDist":          true,
+			"PointRectMinDist":    true,
+			"PointRectMinMaxDist": true,
+		},
+	}
+}
+
+// Name implements Check.
+func (c *SqrtFree) Name() string { return "sqrtfree" }
+
+// Run implements Check.
+func (c *SqrtFree) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		if !pathInScope(pkg.ImportPath, c.Scopes) {
+			continue
+		}
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if c.Allow[fd.Name.Name] {
+					continue
+				}
+				name := fd.Name.Name
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := staticCallee(info, call)
+					if fn == nil || fn.Name() != "Sqrt" || fn.Pkg() == nil || fn.Pkg().Path() != "math" {
+						return true
+					}
+					diags = append(diags, Diagnostic{
+						Pos:   prog.position(call.Pos()),
+						Check: c.Name(),
+						Message: fmt.Sprintf(
+							"math.Sqrt in hot-path function %s; compare squared distances (only allowlisted result-reporting functions may take roots)",
+							name),
+					})
+					return true
+				})
+			}
+		}
+	}
+	return diags
+}

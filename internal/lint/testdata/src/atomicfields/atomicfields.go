@@ -1,0 +1,46 @@
+// Package atomicfields is a lint fixture: a field addressed into
+// sync/atomic anywhere must be accessed atomically everywhere, and typed
+// atomics must not be copied.
+package atomicfields
+
+import "sync/atomic"
+
+// counters mixes an atomically accessed plain field (hits), a never-atomic
+// field (plain) and a typed atomic (gauge).
+type counters struct {
+	hits  int64
+	plain int64
+	gauge atomic.Int64
+}
+
+// bump is the legal pattern: &c.hits only ever flows into sync/atomic and
+// gauge is driven through its methods.
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	c.gauge.Add(1)
+	c.plain++
+}
+
+// broken mixes access modes; every hits access and the gauge copy must be
+// flagged, while plain stays legal.
+func broken(c *counters) int64 {
+	c.hits++
+	before := c.hits
+	snapshot := c.gauge
+	_ = snapshot
+	c.plain = before
+	return atomic.LoadInt64(&c.hits)
+}
+
+// suppressed demonstrates an accepted, documented exception.
+func suppressed(c *counters) int64 {
+	//lint:ignore atomicfields torn read is acceptable in this debug dump
+	return c.hits
+}
+
+// stale has a directive with no reason; the driver reports it instead of
+// honoring it.
+func stale(c *counters) int64 {
+	//lint:ignore atomicfields
+	return c.hits
+}

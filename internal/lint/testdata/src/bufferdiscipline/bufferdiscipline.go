@@ -1,0 +1,50 @@
+// Package bufferdiscipline is a lint fixture: BufferPool.Get on any path
+// reachable from a go statement must be flagged, View must not, and
+// sequential Get stays legal.
+package bufferdiscipline
+
+import "repro/internal/storage"
+
+// spawnAll starts the goroutines the check traces from.
+func spawnAll(pool *storage.BufferPool) {
+	go directReader(pool)
+	go func() {
+		if err := chainA(pool); err != nil {
+			panic(err)
+		}
+	}()
+	go viewReader(pool)
+	sequentialGet(pool)
+}
+
+// directReader is spawned directly; its Get is a violation.
+func directReader(pool *storage.BufferPool) {
+	buf, err := pool.Get(1)
+	if err != nil {
+		panic(err)
+	}
+	_ = buf
+}
+
+// chainA reaches Get only transitively, through chainB.
+func chainA(pool *storage.BufferPool) error { return chainB(pool) }
+
+func chainB(pool *storage.BufferPool) error {
+	_, err := pool.Get(2)
+	return err
+}
+
+// viewReader uses the concurrency-safe read path; no finding.
+func viewReader(pool *storage.BufferPool) {
+	if err := pool.View(3, func([]byte) error { return nil }); err != nil {
+		panic(err)
+	}
+}
+
+// sequentialGet is never spawned on a goroutine, so its Get is the legal
+// single-goroutine contract.
+func sequentialGet(pool *storage.BufferPool) {
+	if _, err := pool.Get(4); err != nil {
+		panic(err)
+	}
+}

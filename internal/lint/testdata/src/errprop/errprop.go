@@ -1,0 +1,23 @@
+// Package errprop is a lint fixture: errors returned by the storage I/O
+// layer must not be discarded with a bare call, a deferred call, or an
+// assignment to the blank identifier.
+package errprop
+
+import "repro/internal/storage"
+
+// drop discards errors in every shape the check recognizes.
+func drop(f *storage.DiskFile, pool *storage.BufferPool) {
+	f.Sync()
+	_ = f.Sync()
+	defer f.Close()
+	if _, err := pool.Get(0); err != nil {
+		panic(err)
+	}
+	buf, _ := pool.Get(1)
+	_ = buf
+}
+
+// propagate is the legal pattern.
+func propagate(f *storage.DiskFile) error {
+	return f.Sync()
+}

@@ -1,0 +1,11 @@
+// Package sink is a lint fixture nested under an internal/storage path:
+// inside the I/O layers every discarded error is flagged, whoever the
+// callee is.
+package sink
+
+import "os"
+
+// cleanup discards an os error from inside a storage-scoped package.
+func cleanup(path string) {
+	os.Remove(path)
+}

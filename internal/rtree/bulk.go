@@ -70,6 +70,7 @@ func (t *Tree) packLevel(entries []Entry, level, capacity int) ([]*Node, error) 
 	n := len(entries)
 	sizes := packSizes(n, capacity, t.cfg.MinEntries, t.cfg.MaxEntries)
 	numNodes := len(sizes)
+	//lint:ignore sqrtfree STR slab count is sqrt of the node count, not a distance comparison
 	slabs := int(math.Ceil(math.Sqrt(float64(numNodes))))
 	nodesPerSlab := (numNodes + slabs - 1) / slabs
 

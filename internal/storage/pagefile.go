@@ -163,13 +163,11 @@ func OpenDiskFile(path string, pageSize int) (*DiskFile, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("storage: stat %s: %w", path, err), f.Close())
 	}
 	if st.Size()%int64(pageSize) != 0 {
-		f.Close()
-		return nil, fmt.Errorf("storage: %s length %d is not a multiple of page size %d",
-			path, st.Size(), pageSize)
+		return nil, errors.Join(fmt.Errorf("storage: %s length %d is not a multiple of page size %d",
+			path, st.Size(), pageSize), f.Close())
 	}
 	return &DiskFile{f: f, pageSize: pageSize, numPages: st.Size() / int64(pageSize)}, nil
 }
