@@ -1,19 +1,58 @@
 #!/bin/sh
 # ci.sh — the repository's check suite: formatting, vet, build, the
-# repo-specific static analyzer (cpqlint, DESIGN.md §7), the full test
-# suite, and the race detector over the whole module (the parallel K-CPQ
-# engine and the sharded buffer pool make every package fair game for
-# concurrency bugs).
-set -eux
+# repo-specific static analyzer (cpqlint, DESIGN.md §7), the analyzer
+# turned on itself, the full test suite, and the race detector over the
+# whole module (the parallel K-CPQ engine and the sharded buffer pool
+# make every package fair game for concurrency bugs).
+#
+# Usage:
+#   ./ci.sh            run every gate
+#   ./ci.sh lint       just the analyzer over the module
+#                      (alias for `go run ./cmd/cpqlint ./...`,
+#                      the single supported lint entry point)
+#   ./ci.sh lint-self  the analyzer over its own sources, plus the
+#                      fuzz seed-corpus presence check
+set -eu
 
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-	echo "gofmt needed on:" "$unformatted" >&2
-	exit 1
-fi
+lint() {
+	go run ./cmd/cpqlint ./...
+}
 
-go vet ./...
-go build ./...
-go run ./cmd/cpqlint ./...
-go test ./...
-go test -race ./...
+# lint_self guards the analyzer's own hygiene: cpqlint must hold its own
+# packages to the same invariants it enforces on the engine, and the
+# fuzz seed corpora the tier-1 suite replays must not silently vanish
+# (an empty corpus dir makes `go test` pass while fuzzing nothing).
+lint_self() {
+	go run ./cmd/cpqlint internal/lint internal/lint/ssa
+	for corpus in internal/rtree/testdata/fuzz internal/geom/testdata/fuzz; do
+		if [ -z "$(ls "$corpus" 2>/dev/null)" ]; then
+			echo "fuzz seed corpus missing or empty: $corpus" >&2
+			exit 1
+		fi
+	done
+}
+
+all() {
+	unformatted=$(gofmt -l .)
+	if [ -n "$unformatted" ]; then
+		echo "gofmt needed on:" "$unformatted" >&2
+		exit 1
+	fi
+	go vet ./...
+	go build ./...
+	lint
+	lint_self
+	go test ./...
+	go test -race ./...
+}
+
+set -x
+case "${1:-all}" in
+all) all ;;
+lint) lint ;;
+lint-self) lint_self ;;
+*)
+	echo "usage: $0 [all|lint|lint-self]" >&2
+	exit 2
+	;;
+esac

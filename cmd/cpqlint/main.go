@@ -2,26 +2,35 @@
 // requested packages from source (stdlib go/parser + go/types only, no
 // external tooling), runs the repo-specific invariant checks and prints
 // one "file:line: [check] message" diagnostic per finding, exiting with
-// status 1 when any survive //lint:ignore suppression. ci.sh runs it as a
-// hard gate over the whole module.
+// status 1 when any survive //lint:ignore suppression and status 2 when
+// any requested package fails to load (a package that does not load is a
+// package that was not linted, so load errors can never pass the gate).
+// ci.sh runs `go run ./cmd/cpqlint ./...` as a hard gate over the whole
+// module; that invocation is the single supported entry point.
 //
 // Usage:
 //
-//	cpqlint ./...                            # lint the whole module
-//	cpqlint internal/core internal/storage   # specific package directories
-//	cpqlint -check sqrtfree,errprop ./...    # a subset of the checks
-//	cpqlint -list                            # list available checks
+//	cpqlint ./...                             # lint the whole module
+//	cpqlint internal/core internal/storage    # specific package directories
+//	cpqlint -checks sqrtfree,errprop ./...    # a subset of the checks
+//	cpqlint -json ./...                       # SARIF-style JSON on stdout
+//	cpqlint -list                             # list available checks
 //
-// The checks are bufferdiscipline (no BufferPool.Get/Put on paths
-// reachable from goroutines — concurrent readers must use View),
+// The syntactic checks are bufferdiscipline (no BufferPool.Get/Put on
+// paths reachable from goroutines — concurrent readers must use View),
 // atomicfields (fields touched via sync/atomic must be atomic everywhere),
 // sqrtfree (no math.Sqrt on pruning/traversal hot paths outside the
 // result-reporting allowlist) and errprop (no discarded errors from the
-// storage / R-tree I/O layers). See DESIGN.md §7 for the contracts each
-// check guards.
+// storage / R-tree I/O layers). The path-sensitive checks, which run on
+// the SSA-lite IR, are pinleak (storage handles released on every path),
+// lockorder (acyclic lock-ordering graph, no nested shard locks),
+// boundmono (the parallel pruning bound only tightens) and deferinloop
+// (no deferred releases inside loops). See DESIGN.md §7 for the
+// contracts each check guards.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,8 +41,10 @@ import (
 
 func main() {
 	var (
-		checkList = flag.String("check", "", "comma-separated subset of checks to run (default: all)")
-		list      = flag.Bool("list", false, "list available checks and exit")
+		checksFlag = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		checkAlias = flag.String("check", "", "alias for -checks")
+		jsonOut    = flag.Bool("json", false, "emit findings as SARIF-style JSON on stdout")
+		list       = flag.Bool("list", false, "list available checks and exit")
 	)
 	flag.Parse()
 
@@ -44,13 +55,17 @@ func main() {
 		}
 		return
 	}
-	if *checkList != "" {
+	selection := *checksFlag
+	if selection == "" {
+		selection = *checkAlias
+	}
+	if selection != "" {
 		byName := make(map[string]lint.Check, len(checks))
 		for _, c := range checks {
 			byName[c.Name()] = c
 		}
 		var selected []lint.Check
-		for _, name := range strings.Split(*checkList, ",") {
+		for _, name := range strings.Split(selection, ",") {
 			name = strings.TrimSpace(name)
 			c, ok := byName[name]
 			if !ok {
@@ -74,13 +89,117 @@ func main() {
 		fatal(err)
 	}
 	diags := lint.Run(prog, checks)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if err := writeSARIF(os.Stdout, checks, diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
-	if len(diags) > 0 {
+	// Load failures are reported last and dominate the exit status: a
+	// clean run over half the module proves nothing about the half that
+	// did not type-check.
+	for _, le := range prog.Failed {
+		fmt.Fprintln(os.Stderr, "cpqlint: load:", le.Error())
+	}
+	switch {
+	case len(prog.Failed) > 0:
+		fmt.Fprintf(os.Stderr, "cpqlint: %d package(s) failed to load\n", len(prog.Failed))
+		os.Exit(2)
+	case len(diags) > 0:
 		fmt.Fprintf(os.Stderr, "cpqlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// SARIF-style output, close enough to SARIF 2.1.0 for log viewers:
+// one run, one rule per check, one result per finding.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID string `json:"id"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func writeSARIF(w *os.File, checks []lint.Check, diags []lint.Diagnostic) error {
+	rules := make([]sarifRule, 0, len(checks))
+	for _, c := range checks {
+		rules = append(rules, sarifRule{ID: c.Name()})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Check,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.Pos.Filename},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "cpqlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
 }
 
 func fatal(err error) {

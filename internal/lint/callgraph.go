@@ -10,12 +10,17 @@ import (
 // functions (identified by their *types.Func) and function literals
 // (identified by their *ast.FuncLit), and edges are the statically
 // resolvable calls — direct calls of package functions, method calls whose
-// receiver type is concrete, and an over-approximating edge from every
+// receiver type is concrete, an over-approximating edge from every
 // function to the literals nested in its body (a literal may run whenever
 // its encloser does: it is called inline, deferred, or passed as a
-// callback). Calls through interfaces or function-typed values are not
-// traced further; the engine's concurrent paths are all direct calls, and
-// a missed edge here fails loud in review, not silent in production.
+// callback), and an over-approximating edge for every method value taken
+// without being called (s.worker used as a value may be invoked by
+// whoever receives it). A goroutine spawned through a local variable
+// (`w := s.worker; go w()`) is resolved through the SSA-lite reaching
+// definitions of the spawn site. Calls through interfaces or
+// function-typed parameters are not traced further; the engine's
+// concurrent paths are all direct calls, and a missed edge here fails
+// loud in review, not silent in production.
 
 // cgCall is one statically resolved call site.
 type cgCall struct {
@@ -32,6 +37,7 @@ type cgRoot struct {
 // callgraph holds the nodes, edges, call sites and goroutine roots of the
 // analyzed packages.
 type callgraph struct {
+	prog *Program
 	// edges maps a node (*types.Func or *ast.FuncLit) to its successors.
 	edges map[any][]any
 	// calls maps a node to the call sites appearing directly in its body.
@@ -44,6 +50,7 @@ type callgraph struct {
 // declared in prog.Packages.
 func buildCallgraph(prog *Program) *callgraph {
 	g := &callgraph{
+		prog:  prog,
 		edges: make(map[any][]any),
 		calls: make(map[any][]cgCall),
 	}
@@ -63,9 +70,13 @@ func buildCallgraph(prog *Program) *callgraph {
 	return g
 }
 
-// walkBody records the calls, nested literals and go statements of one
-// function body under the node `from`.
-func (g *callgraph) walkBody(info *types.Info, from any, body ast.Node) {
+// walkBody records the calls, nested literals, method values and go
+// statements of one function body under the node `from`.
+func (g *callgraph) walkBody(info *types.Info, from any, body *ast.BlockStmt) {
+	// calleeExprs marks selector expressions that are the function part
+	// of a call, to tell a method call from a method value below (a
+	// parent CallExpr is visited before its Fun child).
+	calleeExprs := make(map[ast.Expr]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
@@ -73,22 +84,38 @@ func (g *callgraph) walkBody(info *types.Info, from any, body ast.Node) {
 			g.walkBody(info, n, n.Body)
 			return false // the nested walk owns the literal's body
 		case *ast.GoStmt:
-			g.addRoot(info, n)
+			g.addRoot(info, body, n)
 			// Fall through into the call so argument expressions (and the
 			// spawned callee itself, when resolvable) are still recorded as
 			// ordinary work of the encloser.
 		case *ast.CallExpr:
+			calleeExprs[ast.Unparen(n.Fun)] = true
 			if callee := staticCallee(info, n); callee != nil {
 				g.edges[from] = append(g.edges[from], callee)
 				g.calls[from] = append(g.calls[from], cgCall{callee: callee, pos: n.Lparen})
+			}
+		case *ast.SelectorExpr:
+			if calleeExprs[n] {
+				return true
+			}
+			// A method value taken without being called: whoever
+			// receives the value may invoke it, so over-approximate
+			// with an edge from the encloser.
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					g.edges[from] = append(g.edges[from], fn)
+				}
 			}
 		}
 		return true
 	})
 }
 
-// addRoot records the function started by a go statement.
-func (g *callgraph) addRoot(info *types.Info, stmt *ast.GoStmt) {
+// addRoot records the function started by a go statement. A spawn
+// through a local function variable (`go w()`) is resolved through the
+// reaching definitions of the spawn site: every definition of w that is
+// a method value or a declared function contributes a root.
+func (g *callgraph) addRoot(info *types.Info, body *ast.BlockStmt, stmt *ast.GoStmt) {
 	fun := ast.Unparen(stmt.Call.Fun)
 	if lit, ok := fun.(*ast.FuncLit); ok {
 		g.roots = append(g.roots, cgRoot{node: lit, pos: stmt.Go})
@@ -96,6 +123,36 @@ func (g *callgraph) addRoot(info *types.Info, stmt *ast.GoStmt) {
 	}
 	if fn := staticCallee(info, stmt.Call); fn != nil {
 		g.roots = append(g.roots, cgRoot{node: fn, pos: stmt.Go})
+		return
+	}
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	f := g.prog.irFor("go-spawn", body, info)
+	r := g.prog.reachFor(f, info)
+	for _, def := range r.At(id, v) {
+		if def.Rhs == nil {
+			continue
+		}
+		switch rhs := ast.Unparen(def.Rhs).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[rhs]; ok && sel.Kind() == types.MethodVal {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					g.roots = append(g.roots, cgRoot{node: fn, pos: stmt.Go})
+				}
+			}
+		case *ast.Ident:
+			if fn, ok := info.Uses[rhs].(*types.Func); ok {
+				g.roots = append(g.roots, cgRoot{node: fn, pos: stmt.Go})
+			}
+		case *ast.FuncLit:
+			g.roots = append(g.roots, cgRoot{node: rhs, pos: stmt.Go})
+		}
 	}
 }
 

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestGoroutineReachability pins the callgraph's spawn resolution across
+// the shapes the engine uses: a direct method goroutine (`go s.worker()`),
+// a method call wrapped in a spawned literal (`go func() { s.worker2() }()`),
+// and a method value spawned through a local (`w := s.worker3; go w()`).
+// worker4 is only ever called synchronously and must stay unreachable.
+func TestGoroutineReachability(t *testing.T) {
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(mod.Dir, "internal/lint/testdata/src/callgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Failed) > 0 {
+		t.Fatalf("fixture failed to load: %v", prog.Failed[0])
+	}
+	if len(prog.Packages) != 1 {
+		t.Fatalf("want 1 package, got %d", len(prog.Packages))
+	}
+	pkg := prog.Packages[0]
+
+	methods := make(map[string]*types.Func)
+	for _, obj := range pkg.Info.Defs {
+		if fn, ok := obj.(*types.Func); ok {
+			methods[fn.Name()] = fn
+		}
+	}
+	for _, name := range []string{"worker", "worker2", "worker3", "worker4"} {
+		if methods[name] == nil {
+			t.Fatalf("fixture is missing method %s", name)
+		}
+	}
+
+	g := buildCallgraph(prog)
+	reach := g.reachableFromGo()
+	for _, name := range []string{"worker", "worker2", "worker3"} {
+		if _, ok := reach[any(methods[name])]; !ok {
+			t.Errorf("%s not goroutine-reachable; its spawn shape was not resolved", name)
+		}
+	}
+	if _, ok := reach[any(methods["worker4"])]; ok {
+		t.Errorf("worker4 is goroutine-reachable but is only ever called synchronously")
+	}
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+
+	"repro/internal/lint/ssa"
+)
+
+// DeferInLoop flags deferred releases registered inside a loop. A defer
+// runs at function return, not at the end of the iteration that
+// registered it, so `defer n.Close()` inside an R-tree traversal loop
+// pins every visited node's resources until the whole query finishes —
+// on the experiments' page-level traversals that is the working set of
+// the entire tree, not of one node. The fix is either an explicit
+// release at the end of the iteration or a per-iteration function
+// literal whose own return triggers the defer; the latter is recognized
+// and not flagged, because the literal's body is a separate function
+// with no enclosing loop.
+//
+// Loops are found structurally on the SSA-lite CFG (back edges whose
+// target dominates their source), so a defer inside a loop spelled with
+// goto or with labeled continue is caught the same as one in a plain
+// for.
+type DeferInLoop struct {
+	// Scopes are import-path fragments; only functions in these
+	// packages are checked.
+	Scopes []string
+	// ReleaseNames are the deferred callee names that indicate a
+	// per-iteration resource release.
+	ReleaseNames []string
+}
+
+// NewDeferInLoop returns the check configured for the traversal-heavy
+// packages.
+func NewDeferInLoop() *DeferInLoop {
+	return &DeferInLoop{
+		Scopes:       []string{"internal/rtree", "internal/storage", "internal/core"},
+		ReleaseNames: []string{"Close", "Put", "Release", "Unpin"},
+	}
+}
+
+// Name implements Check.
+func (c *DeferInLoop) Name() string { return "deferinloop" }
+
+// Run implements Check.
+func (c *DeferInLoop) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		if !pathInScope(pkg.ImportPath, c.Scopes) {
+			continue
+		}
+		for _, fs := range funcsOf(prog, pkg) {
+			diags = append(diags, c.checkFunc(prog, fs)...)
+		}
+	}
+	return diags
+}
+
+func (c *DeferInLoop) checkFunc(prog *Program, fs FuncSource) []Diagnostic {
+	f := prog.IR(fs)
+	loops := f.Loops(f.Dominators())
+	if len(loops) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, b := range f.Blocks {
+		if !ssa.InLoop(loops, b) {
+			continue
+		}
+		for _, n := range b.Nodes {
+			ds, ok := n.(*ast.DeferStmt)
+			if !ok {
+				continue
+			}
+			name := c.releaseName(ds)
+			if name == "" {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   prog.position(ds.Pos()),
+				Check: c.Name(),
+				Message: fmt.Sprintf(
+					"defer %s inside a loop runs at function return, not per iteration; release explicitly or wrap the iteration in a function",
+					name),
+			})
+		}
+	}
+	return diags
+}
+
+// releaseName returns the deferred call's release-method name, or ""
+// when the defer is not a recognized release.
+func (c *DeferInLoop) releaseName(ds *ast.DeferStmt) string {
+	var name string
+	switch fun := ast.Unparen(ds.Call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return ""
+	}
+	for _, r := range c.ReleaseNames {
+		if name == r {
+			return name
+		}
+	}
+	return ""
+}

@@ -17,12 +17,29 @@
 //   - errprop: errors returned by the storage and R-tree I/O layers must
 //     not be discarded with `_ =` or a bare call.
 //
+// Four further checks are path-sensitive: they run over the SSA-lite IR
+// of package repro/internal/lint/ssa (basic blocks, dominators, reaching
+// definitions) instead of matching syntax:
+//
+//   - pinleak: a storage handle must be released on every control-flow
+//     path out of the acquiring function, or demonstrably change owner.
+//   - lockorder: the static lock-ordering graph over the engine's
+//     mutexes must be acyclic, and no two instances of one shard lock
+//     may be held at once.
+//   - boundmono: the parallel engine's shared pruning bound is written
+//     only through its CAS-min helper; a raw store or whole-value
+//     overwrite can widen the bound and lose results.
+//   - deferinloop: a deferred Close/Put inside a loop releases nothing
+//     until function return and so pins the whole traversal's resources.
+//
 // A finding can be suppressed by the line comment
 //
 //	//lint:ignore <check> <reason>
 //
-// on the offending line or the line directly above it; the reason is
-// mandatory. Diagnostics print as "file:line: [check] message" and the
+// on the offending line or the line directly above the statement the
+// finding points into (for a multi-line statement the directive sits
+// above the first line); the reason is mandatory. Diagnostics print as
+// "file:line: [check] message" and the
 // cpqlint command exits non-zero when any survive, which is how ci.sh
 // turns these conventions into build failures.
 package lint
@@ -68,6 +85,10 @@ func Checks() []Check {
 		NewAtomicFields(),
 		NewSqrtFree(),
 		NewErrProp(),
+		NewPinLeak(),
+		NewLockOrder(),
+		NewBoundMono(),
+		NewDeferInLoop(),
 	}
 }
 
@@ -146,15 +167,55 @@ func applyIgnores(prog *Program, known map[string]bool, diags []Diagnostic) []Di
 			}
 		}
 	}
+	starts := stmtStartLines(prog)
 	kept := problems
 	for _, d := range diags {
 		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
 			ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}] {
 			continue
 		}
+		// A finding inside a multi-line statement is also covered by a
+		// directive on the line above the statement's first line — the
+		// only place gofmt lets a comment live for a wrapped call.
+		if s, ok := starts[lineKey{d.Pos.Filename, d.Pos.Line}]; ok &&
+			(ignores[ignoreKey{d.Pos.Filename, s, d.Check}] ||
+				ignores[ignoreKey{d.Pos.Filename, s - 1, d.Check}]) {
+			continue
+		}
 		kept = append(kept, d)
 	}
 	return kept
+}
+
+// lineKey addresses one source line of one file.
+type lineKey struct {
+	file string
+	line int
+}
+
+// stmtStartLines maps every line spanned by a multi-line simple statement
+// to the statement's first line. Only simple statements participate:
+// extending a directive above a compound statement (for, if, ...) to its
+// whole body would suppress far more than the author aimed at.
+func stmtStartLines(prog *Program) map[lineKey]int {
+	starts := make(map[lineKey]int)
+	for _, pkg := range prog.Packages {
+		walkFiles(pkg, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt,
+				*ast.ReturnStmt, *ast.DeclStmt, *ast.SendStmt, *ast.IncDecStmt:
+			default:
+				return true
+			}
+			from := prog.position(n.Pos())
+			to := prog.position(n.End())
+			for l := from.Line + 1; l <= to.Line; l++ {
+				starts[lineKey{from.Filename, l}] = from.Line
+			}
+			return true
+		})
+	}
+	return starts
 }
 
 // pathInScope reports whether an import path falls under any of the scope

@@ -31,6 +31,9 @@ func runCheck(t *testing.T, check lint.Check, patterns ...string) []lint.Diagnos
 	if err != nil {
 		t.Fatal(err)
 	}
+	for _, le := range prog.Failed {
+		t.Fatalf("fixture failed to load: %v", le)
+	}
 	return lint.Run(prog, []lint.Check{check})
 }
 
@@ -46,6 +49,10 @@ func TestGolden(t *testing.T) {
 		{lint.NewAtomicFields(), []string{"internal/lint/testdata/src/atomicfields"}},
 		{lint.NewSqrtFree(), []string{"internal/lint/testdata/src/sqrtfree/..."}},
 		{lint.NewErrProp(), []string{"internal/lint/testdata/src/errprop/..."}},
+		{lint.NewPinLeak(), []string{"internal/lint/testdata/src/pinleak"}},
+		{lint.NewLockOrder(), []string{"internal/lint/testdata/src/lockorder/internal/core/pool"}},
+		{lint.NewBoundMono(), []string{"internal/lint/testdata/src/boundmono/internal/core/engine"}},
+		{lint.NewDeferInLoop(), []string{"internal/lint/testdata/src/deferinloop/internal/rtree/walk"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check.Name(), func(t *testing.T) {
@@ -84,6 +91,10 @@ func TestFixturesFindSomething(t *testing.T) {
 		{lint.NewAtomicFields(), []string{"internal/lint/testdata/src/atomicfields"}},
 		{lint.NewSqrtFree(), []string{"internal/lint/testdata/src/sqrtfree/..."}},
 		{lint.NewErrProp(), []string{"internal/lint/testdata/src/errprop/..."}},
+		{lint.NewPinLeak(), []string{"internal/lint/testdata/src/pinleak"}},
+		{lint.NewLockOrder(), []string{"internal/lint/testdata/src/lockorder/internal/core/pool"}},
+		{lint.NewBoundMono(), []string{"internal/lint/testdata/src/boundmono/internal/core/engine"}},
+		{lint.NewDeferInLoop(), []string{"internal/lint/testdata/src/deferinloop/internal/rtree/walk"}},
 	}
 	for _, tc := range cases {
 		found := false
@@ -114,6 +125,45 @@ func TestSuppression(t *testing.T) {
 	}
 }
 
+// TestMultilineSuppression is the regression test for directives above
+// statements that wrap across lines: the errprop fixture has two copies
+// of the same wrapped statement, one suppressed, one not, and only the
+// unsuppressed one may surface.
+func TestMultilineSuppression(t *testing.T) {
+	diags := runCheck(t, lint.NewErrProp(), "internal/lint/testdata/src/errprop")
+	var wrapped []lint.Diagnostic
+	for _, d := range diags {
+		if strings.Contains(d.Message, "WritePage") {
+			wrapped = append(wrapped, d)
+		}
+	}
+	if len(wrapped) != 1 {
+		t.Errorf("want exactly 1 unsuppressed wrapped-statement finding, got %d: %v", len(wrapped), wrapped)
+	}
+}
+
+// TestLoadFailure asserts that a package that fails to type-check is
+// reported through Program.Failed without hiding the packages that do
+// load: the analyzable part of the module must still produce findings.
+func TestLoadFailure(t *testing.T) {
+	prog, err := lint.Load(moduleDir(t),
+		"internal/lint/testdata/src/loadfail",
+		"internal/lint/testdata/src/sqrtfree/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Failed) != 1 {
+		t.Fatalf("want 1 load failure, got %d: %v", len(prog.Failed), prog.Failed)
+	}
+	if !strings.Contains(prog.Failed[0].Error(), "loadfail") {
+		t.Errorf("failure does not name the broken package: %v", prog.Failed[0])
+	}
+	diags := lint.Run(prog, []lint.Check{lint.NewSqrtFree()})
+	if len(diags) == 0 {
+		t.Error("loadable packages produced no findings; the failure hid them")
+	}
+}
+
 // TestCleanRepo asserts the real module lints clean with the production
 // check suite — the repository's own code is the fifth fixture, pinned to
 // zero findings.
@@ -124,6 +174,9 @@ func TestCleanRepo(t *testing.T) {
 	prog, err := lint.Load(moduleDir(t), "./...")
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, le := range prog.Failed {
+		t.Errorf("package failed to load: %v", le)
 	}
 	diags := lint.Run(prog, lint.Checks())
 	for _, d := range diags {

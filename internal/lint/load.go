@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/lint/ssa"
 )
 
 // Module identifies the Go module under analysis.
@@ -44,7 +46,28 @@ type Program struct {
 	Module   Module
 	Fset     *token.FileSet
 	Packages []*Package
+	// Failed records the packages that did not load (parse or
+	// type-check error). The rest of the program is still analyzable,
+	// but a caller gating a build MUST treat a non-empty Failed as a
+	// failure — a package that does not load is a package that was not
+	// linted.
+	Failed []LoadError
+
+	// ir memoizes the SSA-lite CFG per function body, and reach the
+	// reaching-definitions solution per CFG (see ir.go).
+	ir    map[*ast.BlockStmt]*ssa.Func
+	reach map[*ssa.Func]*ssa.Reaching
 }
+
+// LoadError is one package that failed to load.
+type LoadError struct {
+	// Dir is the package directory that was requested.
+	Dir string
+	// Err is the parse or type-check error.
+	Err error
+}
+
+func (e LoadError) Error() string { return fmt.Sprintf("%s: %v", e.Dir, e.Err) }
 
 // position resolves a token.Pos into a Position whose file name is relative
 // to the module root, for stable diagnostics.
@@ -274,7 +297,12 @@ func Load(dir string, patterns ...string) (*Program, error) {
 	for _, d := range dirs {
 		pkg, err := l.loadDir(d)
 		if err != nil {
-			return nil, err
+			// A broken package must not hide the findings of the rest
+			// of the module: record the failure and keep loading. The
+			// cpqlint command turns a non-empty Failed into a non-zero
+			// exit even when every loaded package is clean.
+			prog.Failed = append(prog.Failed, LoadError{Dir: d, Err: err})
+			continue
 		}
 		prog.Packages = append(prog.Packages, pkg)
 	}

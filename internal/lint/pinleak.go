@@ -1,0 +1,371 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/ssa"
+)
+
+// PinLeak enforces handle discipline at the storage boundary: a page
+// file or other closeable handle obtained from a storage constructor
+// must be released on every control-flow path out of the acquiring
+// function — including early returns and explicit panics — unless
+// ownership demonstrably moves elsewhere (the handle is returned,
+// stored, or passed on). The disk-access accounting of the experiments
+// (paper §6.2) runs through these handles; a leaked one skews counters
+// for every query that follows, besides leaking the fd itself.
+//
+// The check is path-sensitive: it walks the SSA-lite CFG from each
+// acquisition and reports when some event-free path reaches the
+// function exit, where an event is
+//
+//   - a release: a call of one of the release methods (Close, ...) on
+//     the handle, directly or anywhere inside a defer (a deferred
+//     release covers every path after its registration, panics
+//     included);
+//   - an escape: the handle is returned, assigned, captured, or passed
+//     to another function — ownership has moved, the new owner is
+//     responsible.
+//
+// The idiomatic error check `if err != nil { return ... }` right after
+// a two-result acquisition is exempt: on that branch the handle is nil
+// by the constructor's contract.
+type PinLeak struct {
+	// AcquireScopes are import-path fragments of the packages whose
+	// package-level functions hand out closeable handles.
+	AcquireScopes []string
+	// ReleaseMethods are the method names that release a handle.
+	ReleaseMethods []string
+}
+
+// NewPinLeak returns the check configured for the storage layer.
+func NewPinLeak() *PinLeak {
+	return &PinLeak{
+		AcquireScopes:  []string{"internal/storage"},
+		ReleaseMethods: []string{"Close", "Release", "Unpin", "Put"},
+	}
+}
+
+// Name implements Check.
+func (c *PinLeak) Name() string { return "pinleak" }
+
+// Run implements Check.
+func (c *PinLeak) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, fs := range funcsOf(prog, pkg) {
+			diags = append(diags, c.checkFunc(prog, fs)...)
+		}
+	}
+	return diags
+}
+
+// acquisition is one tracked handle binding.
+type acquisition struct {
+	handle *types.Var // the local the handle is bound to
+	errVar *types.Var // the error result of the same call, if bound
+	node   ast.Node   // the acquiring assignment
+	block  *ssa.Block
+	index  int // node index within block
+	label  string
+}
+
+func (c *PinLeak) checkFunc(prog *Program, fs FuncSource) []Diagnostic {
+	info := fs.Pkg.Info
+	f := prog.IR(fs)
+	acqs := c.findAcquisitions(info, f)
+	if len(acqs) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, a := range acqs {
+		exempt := c.exemptBlocks(info, f, a.errVar)
+		if c.leaks(info, f, a, exempt) {
+			diags = append(diags, Diagnostic{
+				Pos:   prog.position(a.node.Pos()),
+				Check: c.Name(),
+				Message: fmt.Sprintf(
+					"%s obtained from %s may not be released on every path; close it on each exit or defer the release",
+					a.handle.Name(), a.label),
+			})
+		}
+	}
+	return diags
+}
+
+// findAcquisitions locates assignments binding a closeable result of a
+// scoped package-level constructor to a plain local variable.
+func (c *PinLeak) findAcquisitions(info *types.Info, f *ssa.Func) []acquisition {
+	var acqs []acquisition
+	for _, b := range f.Blocks {
+		for i, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := staticCallee(info, call)
+			if fn == nil || fn.Pkg() == nil || !pathInScope(fn.Pkg().Path(), c.AcquireScopes) {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				continue // methods (getters like File()) do not mint ownership
+			}
+			res := sig.Results()
+			var errVar *types.Var
+			if res.Len() == len(as.Lhs) {
+				for ri := 0; ri < res.Len(); ri++ {
+					if isErrorType(res.At(ri).Type()) {
+						errVar = localVar(info, as.Lhs[ri])
+					}
+				}
+			}
+			for ri := 0; ri < res.Len(); ri++ {
+				if !c.isCloseable(res.At(ri).Type()) || ri >= len(as.Lhs) {
+					continue
+				}
+				v := localVar(info, as.Lhs[ri])
+				if v == nil {
+					continue // blank, field, or index target: ownership escaped at birth
+				}
+				acqs = append(acqs, acquisition{
+					handle: v,
+					errVar: errVar,
+					node:   n,
+					block:  b,
+					index:  i,
+					label:  fn.Pkg().Name() + "." + fn.Name(),
+				})
+			}
+		}
+	}
+	return acqs
+}
+
+// isCloseable reports whether t (or what it points to) offers one of the
+// release methods.
+func (c *PinLeak) isCloseable(t types.Type) bool {
+	if _, ok := t.(*types.Pointer); !ok {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			t = types.NewPointer(t)
+		}
+	}
+	ms := types.NewMethodSet(t)
+	for _, m := range c.ReleaseMethods {
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == m {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exemptBlocks marks the branch entered when the acquisition's error is
+// non-nil: `if err != nil { ... }` (then) and `if err == nil { ... }
+// else { ... }` (else). The handle is nil there by contract.
+func (c *PinLeak) exemptBlocks(info *types.Info, f *ssa.Func, errVar *types.Var) map[*ssa.Block]bool {
+	exempt := make(map[*ssa.Block]bool)
+	if errVar == nil {
+		return exempt
+	}
+	markBranch := func(body *ast.BlockStmt) {
+		if body == nil || len(body.List) == 0 {
+			return
+		}
+		if b := f.BlockOf(body.List[0]); b != nil {
+			exempt[b] = true
+		}
+	}
+	ast.Inspect(f.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		bin, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok || !isNilCheckOf(info, bin, errVar) {
+			return true
+		}
+		switch bin.Op {
+		case token.NEQ:
+			markBranch(ifs.Body)
+		case token.EQL:
+			if els, ok := ifs.Else.(*ast.BlockStmt); ok {
+				markBranch(els)
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+// leaks reports whether some event-free path runs from just after the
+// acquisition to the function exit.
+func (c *PinLeak) leaks(info *types.Info, f *ssa.Func, a acquisition, exempt map[*ssa.Block]bool) bool {
+	// handled[b]: block b contains a release or escape of the handle.
+	handled := make(map[*ssa.Block]bool)
+	for _, b := range f.Blocks {
+		for _, n := range b.Nodes {
+			if n == a.node {
+				continue
+			}
+			if c.nodeHandles(info, n, a.handle) {
+				handled[b] = true
+				break
+			}
+		}
+	}
+	// Least fixpoint of leakFrom[b]: an event-free path from the start
+	// of b reaches Exit.
+	leakFrom := map[*ssa.Block]bool{f.Exit: true}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			if b == f.Exit || handled[b] || leakFrom[b] {
+				continue
+			}
+			for _, s := range b.Succs {
+				if exempt[s] {
+					continue
+				}
+				if leakFrom[s] {
+					leakFrom[b] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// From the acquisition point: events later in the same block cover
+	// every path; otherwise any successor with a leaking path leaks.
+	for _, n := range a.block.Nodes[a.index+1:] {
+		if c.nodeHandles(info, n, a.handle) {
+			return false
+		}
+	}
+	for _, s := range a.block.Succs {
+		if exempt[s] {
+			continue
+		}
+		if leakFrom[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeHandles reports whether node n releases the handle or lets it
+// escape. Uses inside nested function literals count — a closure
+// capturing the handle owns its fate now.
+func (c *PinLeak) nodeHandles(info *types.Info, n ast.Node, v *types.Var) bool {
+	handled := false
+	var stack []ast.Node
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if handled {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == v {
+			if c.classifyUse(info, id, stack) {
+				handled = true
+			}
+		}
+		stack = append(stack, m)
+		return true
+	})
+	return handled
+}
+
+// classifyUse decides whether one identifier use of the handle is a
+// release or escape (true) or a plain read that keeps this function
+// responsible (false). stack holds the ancestors, innermost last.
+func (c *PinLeak) classifyUse(info *types.Info, id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X != id {
+			return false
+		}
+		// Receiver position: a release method call handles the
+		// handle; any other selection is a plain use.
+		if len(stack) >= 2 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == p {
+				for _, m := range c.ReleaseMethods {
+					if p.Sel.Name == m {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	case *ast.BinaryExpr:
+		// Nil comparisons test the handle, they do not move it.
+		if (p.Op == token.EQL || p.Op == token.NEQ) && (isNilIdent(info, p.X) || isNilIdent(info, p.Y)) {
+			return false
+		}
+		return true
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == id {
+				return false // overwritten, not read
+			}
+		}
+		return true // handle on the RHS: ownership moves
+	default:
+		// Argument, return operand, composite literal element, closure
+		// capture context, ...: ownership moves or is shared.
+		return true
+	}
+}
+
+// isNilCheckOf reports whether bin compares errVar against nil.
+func isNilCheckOf(info *types.Info, bin *ast.BinaryExpr, errVar *types.Var) bool {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return false
+	}
+	matches := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == errVar
+	}
+	return (matches(bin.X) && isNilIdent(info, bin.Y)) ||
+		(matches(bin.Y) && isNilIdent(info, bin.X))
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// localVar resolves an assignment target to a plain local variable, nil
+// for blank identifiers and non-ident targets.
+func localVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() {
+		return v
+	}
+	return nil
+}

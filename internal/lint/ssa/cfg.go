@@ -1,0 +1,378 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Build constructs the control-flow graph of one function body. info may
+// be nil; when present it is used to recognize terminator calls (panic,
+// os.Exit, runtime.Goexit, log.Fatal*) so the paths they end do not fall
+// through to the next statement.
+//
+// goto is modeled conservatively as an edge to Exit (the repository has
+// no goto statements; the edge keeps every analysis sound rather than
+// precise if one ever appears).
+func Build(name string, body *ast.BlockStmt, info *types.Info) *Func {
+	f := &Func{
+		Name:    name,
+		Body:    body,
+		blockOf: make(map[ast.Node]*Block),
+	}
+	b := &builder{f: f, info: info}
+	f.Entry = b.newBlock()
+	f.Exit = b.newBlock()
+	b.cur = f.Entry
+	b.stmt(body)
+	b.edge(b.cur, f.Exit)
+	return f
+}
+
+// frame is one enclosing breakable/continuable construct during the
+// build.
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch and select
+}
+
+type builder struct {
+	f    *Func
+	info *types.Info
+	// cur is the block under construction; nil right after a terminator
+	// (return, break, panic, ...) until the next statement starts a
+	// fresh — possibly unreachable — block.
+	cur *Block
+	// frames is the stack of enclosing loops/switches for break and
+	// continue resolution, innermost last.
+	frames []frame
+	// label set by a LabeledStmt for the construct that follows it.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.f.Blocks)}
+	b.f.Blocks = append(b.f.Blocks, blk)
+	return blk
+}
+
+// edge links a -> b; a nil source (dead code) adds nothing.
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// append records n as executed by the current block, starting an
+// unreachable block if the previous statement terminated control flow.
+func (b *builder) append(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+	b.f.blockOf[n] = b.cur
+}
+
+// takeLabel consumes the label a LabeledStmt attached for the construct
+// being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findFrame resolves a break or continue target: the innermost matching
+// frame, or the one carrying the label.
+func (b *builder) findFrame(label string, needContinue bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		fr := &b.frames[i]
+		if needContinue && fr.continueTo == nil {
+			continue
+		}
+		if label == "" || fr.label == label {
+			return fr
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		// Start a fresh block so a labeled continue/break has a clean
+		// target even when the label precedes a plain statement.
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.append(s)
+		b.edge(b.cur, b.f.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if fr := b.findFrame(labelName(s), false); fr != nil {
+				b.edge(b.cur, fr.breakTo)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if fr := b.findFrame(labelName(s), true); fr != nil {
+				b.edge(b.cur, fr.continueTo)
+			}
+			b.cur = nil
+		case token.GOTO:
+			b.edge(b.cur, b.f.Exit)
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by the switch builder via block fallthrough; the
+			// statement itself executes nothing.
+		}
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		// The assign executes per matching case; recording it once in
+		// the dispatch block keeps its defs and uses visible.
+		b.stmt(s.Assign)
+		b.switchStmt(nil, nil, s.Body, label)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ExprStmt:
+		b.append(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.isTerminator(call) {
+			b.edge(b.cur, b.f.Exit)
+			b.cur = nil
+		}
+	case nil:
+		// Absent else branch and friends.
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go, Empty: straight-line.
+		b.append(s)
+	}
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label != nil {
+		return s.Label.Name
+	}
+	return ""
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.append(s.Cond)
+	cond := b.cur
+	after := b.newBlock()
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	b.edge(b.cur, after)
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.append(s.Cond)
+	}
+	after := b.newBlock()
+	continueTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		continueTo = post
+	}
+	body := b.newBlock()
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: after, continueTo: continueTo})
+	b.cur = body
+	b.stmt(s.Body)
+	b.frames = b.frames[:len(b.frames)-1]
+	if post != nil {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+	} else {
+		b.edge(b.cur, head)
+	}
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	// The range operand is evaluated once, before the loop.
+	b.append(s.X)
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	b.cur = head
+	// The header stands for the per-iteration key/value assignment; see
+	// the Inspect convention in ssa.go.
+	b.append(s)
+	after := b.newBlock()
+	body := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after)
+	b.frames = append(b.frames, frame{label: label, breakTo: after, continueTo: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(b.cur, head)
+	b.cur = after
+}
+
+// switchStmt builds expression and type switches: one block per case
+// clause, fallthrough edges between consecutive cases, and an edge from
+// the dispatch block straight to after when no default exists.
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, label string) {
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.append(tag)
+	}
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.newBlock()
+		b.cur = dispatch
+	}
+	after := b.newBlock()
+	b.frames = append(b.frames, frame{label: label, breakTo: after})
+	var clauses []*ast.CaseClause
+	for _, st := range body.List {
+		if cc, ok := st.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	caseBlocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		caseBlocks[i] = b.newBlock()
+		b.edge(dispatch, caseBlocks[i])
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = caseBlocks[i]
+		for _, e := range cc.List {
+			b.append(e)
+		}
+		falls := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+			}
+			b.stmt(st)
+		}
+		if falls && i+1 < len(clauses) {
+			b.edge(b.cur, caseBlocks[i+1])
+			b.cur = nil
+		}
+		b.edge(b.cur, after)
+	}
+	if !hasDefault {
+		b.edge(dispatch, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.newBlock()
+		b.cur = dispatch
+	}
+	after := b.newBlock()
+	b.frames = append(b.frames, frame{label: label, breakTo: after})
+	for _, st := range s.Body.List {
+		cc, ok := st.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(dispatch, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// isTerminator reports whether a call never returns: the panic builtin,
+// os.Exit, runtime.Goexit, or the log.Fatal family.
+func (b *builder) isTerminator(call *ast.CallExpr) bool {
+	if b.info == nil {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if blt, ok := b.info.Uses[fun].(*types.Builtin); ok {
+			return blt.Name() == "panic"
+		}
+	case *ast.SelectorExpr:
+		fn, ok := b.info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "runtime":
+			return fn.Name() == "Goexit"
+		case "log":
+			return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+		}
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package ssa_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/lint/ssa"
+)
+
+// buildFunc type-checks src (a complete file) and builds the CFG of the
+// function named name.
+func buildFunc(t *testing.T, src, name string) (*ssa.Func, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := cfg.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name && fd.Body != nil {
+			return ssa.Build(name, fd.Body, info), info
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+// reachable returns the blocks reachable from Entry.
+func reachable(f *ssa.Func) map[*ssa.Block]bool {
+	seen := map[*ssa.Block]bool{f.Entry: true}
+	stack := []*ssa.Block{f.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestIfElseJoin(t *testing.T) {
+	f, _ := buildFunc(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}`, "f")
+	if len(f.Exit.Preds) != 1 {
+		t.Errorf("want 1 exit pred (the join's return), got %d", len(f.Exit.Preds))
+	}
+	d := f.Dominators()
+	for b := range reachable(f) {
+		if !d.Dominates(f.Entry, b) {
+			t.Errorf("entry must dominate block %d", b.Index)
+		}
+	}
+	if got := len(f.Entry.Succs); got != 2 {
+		t.Errorf("condition block should branch two ways, got %d succs", got)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	f, _ := buildFunc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		s += i
+	}
+	return s
+}`, "f")
+	d := f.Dominators()
+	loops := f.Loops(d)
+	if len(loops) != 1 {
+		t.Fatalf("want 1 natural loop, got %d", len(loops))
+	}
+	l := loops[0]
+	if !d.Dominates(l.Head, l.Head) || len(l.Blocks) < 3 {
+		t.Errorf("loop body too small: %d blocks", len(l.Blocks))
+	}
+	// The head must dominate every block of the loop.
+	for b := range l.Blocks {
+		if !d.Dominates(l.Head, b) {
+			t.Errorf("loop head must dominate member block %d", b.Index)
+		}
+	}
+}
+
+func TestRangeAndNestedLoops(t *testing.T) {
+	f, _ := buildFunc(t, `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		for x > 0 {
+			x--
+			s++
+		}
+	}
+	return s
+}`, "f")
+	d := f.Dominators()
+	loops := f.Loops(d)
+	if len(loops) != 2 {
+		t.Fatalf("want 2 natural loops, got %d", len(loops))
+	}
+}
+
+func TestTerminatorsEndPaths(t *testing.T) {
+	f, _ := buildFunc(t, `package p
+func f(c bool) int {
+	if c {
+		panic("no")
+	}
+	return 1
+}`, "f")
+	// Exit has two preds: the panic block and the return block. The
+	// statement after the panic must not be a fallthrough successor.
+	if len(f.Exit.Preds) != 2 {
+		t.Errorf("want 2 exit preds (panic, return), got %d", len(f.Exit.Preds))
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	f, _ := buildFunc(t, `package p
+func f(x int) int {
+	r := 0
+	switch x {
+	case 1:
+		r = 1
+		fallthrough
+	case 2:
+		r += 2
+	default:
+		r = 9
+	}
+	return r
+}`, "f")
+	// All three cases plus the fallthrough edge must keep the return
+	// reachable and the exit single-pred.
+	if len(f.Exit.Preds) != 1 {
+		t.Errorf("want 1 exit pred, got %d", len(f.Exit.Preds))
+	}
+	reach := reachable(f)
+	if !reach[f.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	f, _ := buildFunc(t, `package p
+func f(m [][]int) int {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+		}
+	}
+	return 1
+}`, "f")
+	d := f.Dominators()
+	if n := len(f.Loops(d)); n != 2 {
+		t.Errorf("want 2 loops, got %d", n)
+	}
+	if !reachable(f)[f.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestBlockOfLocatesSubExpressions(t *testing.T) {
+	f, _ := buildFunc(t, `package p
+func g(int) int { return 0 }
+func f(c bool) int {
+	x := 1
+	if c {
+		x = g(41)
+	}
+	return x
+}`, "f")
+	var callBlock *ssa.Block
+	ast.Inspect(f.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callBlock = f.BlockOf(call)
+		}
+		return true
+	})
+	if callBlock == nil {
+		t.Fatal("BlockOf failed to locate the call")
+	}
+	if callBlock == f.Entry || callBlock == f.Exit {
+		t.Error("call should live in the then-branch block, not entry/exit")
+	}
+}

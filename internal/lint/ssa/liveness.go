@@ -1,0 +1,134 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Liveness: which variables may still be read after a given block. The
+// backward dual of reaching definitions; kept intraprocedural like the
+// rest of the IR.
+//
+// Uses inside nested function literals count as uses of the enclosing
+// function's variables (a closure capturing v keeps it live), but
+// assignments inside literals do not count as kills — the literal may
+// run at any time, so the outer definition must stay live across it.
+
+// Liveness holds the fixpoint solution for one Func.
+type Liveness struct {
+	in, out map[*Block]map[*types.Var]bool
+}
+
+// Live computes per-block live-in/live-out sets for f.
+func Live(f *Func, info *types.Info) *Liveness {
+	l := &Liveness{
+		in:  make(map[*Block]map[*types.Var]bool),
+		out: make(map[*Block]map[*types.Var]bool),
+	}
+	use := make(map[*Block]map[*types.Var]bool)
+	def := make(map[*Block]map[*types.Var]bool)
+	for _, b := range f.Blocks {
+		u, d := map[*types.Var]bool{}, map[*types.Var]bool{}
+		for _, n := range b.Nodes {
+			// Uses first when they precede the def in the same node
+			// (x = x + 1 uses then defines x); scanning uses before
+			// applying the node's defs approximates that safely.
+			for _, v := range usesOf(info, n) {
+				if !d[v] {
+					u[v] = true
+				}
+			}
+			for _, dd := range defsOf(info, n) {
+				d[dd.Var] = true
+			}
+		}
+		use[b], def[b] = u, d
+		l.in[b] = map[*types.Var]bool{}
+		l.out[b] = map[*types.Var]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			outb := l.out[b]
+			for _, s := range b.Succs {
+				for v := range l.in[s] {
+					if !outb[v] {
+						outb[v] = true
+						changed = true
+					}
+				}
+			}
+			inb := l.in[b]
+			for v := range use[b] {
+				if !inb[v] {
+					inb[v] = true
+					changed = true
+				}
+			}
+			for v := range outb {
+				if !def[b][v] && !inb[v] {
+					inb[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return l
+}
+
+// LiveIn reports whether v may be read on some path from the start of b.
+func (l *Liveness) LiveIn(b *Block, v *types.Var) bool { return l.in[b][v] }
+
+// LiveOut reports whether v may be read on some path after b.
+func (l *Liveness) LiveOut(b *Block, v *types.Var) bool { return l.out[b][v] }
+
+// usesOf collects the variables read by a recorded block node,
+// including reads from nested function literals (captures).
+func usesOf(info *types.Info, n ast.Node) []*types.Var {
+	var uses []*types.Var
+	// Deliberately ast.Inspect, not ssa.Inspect: closure bodies count
+	// for uses (see the package comment above).
+	skipDefs := collectDefIdents(info, n)
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if skipDefs[id] {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() {
+			uses = append(uses, v)
+		}
+		return true
+	})
+	return uses
+}
+
+// collectDefIdents marks the identifiers that are pure definition sites
+// of n (LHS of :=, range key/value), which are not reads.
+func collectDefIdents(info *types.Info, n ast.Node) map[*ast.Ident]bool {
+	m := make(map[*ast.Ident]bool)
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if _, isDef := info.Defs[id]; isDef {
+				m[id] = true
+			}
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			mark(lhs)
+		}
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			mark(n.Key)
+		}
+		if n.Value != nil {
+			mark(n.Value)
+		}
+	}
+	return m
+}

@@ -1,0 +1,67 @@
+package ssa
+
+// Natural-loop detection from back edges: an edge a -> h is a back edge
+// when h dominates a, and its natural loop is h plus every block that
+// reaches a without passing through h. Loops sharing a header are
+// merged, matching the textbook definition.
+
+// Loop is one natural loop of a Func.
+type Loop struct {
+	// Head is the loop header (the target of the back edges).
+	Head *Block
+	// Blocks is the loop body, header included.
+	Blocks map[*Block]bool
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *Block) bool { return l.Blocks[b] }
+
+// Loops finds the natural loops of f using the dominator tree d (pass
+// f.Dominators(), shared with other consumers to avoid recomputing).
+func (f *Func) Loops(d *Dom) []*Loop {
+	byHead := make(map[*Block]*Loop)
+	var order []*Block
+	for _, b := range f.Blocks {
+		if _, ok := d.idom[b]; !ok && b != f.Entry {
+			continue // unreachable
+		}
+		for _, s := range b.Succs {
+			if !d.Dominates(s, b) {
+				continue
+			}
+			l := byHead[s]
+			if l == nil {
+				l = &Loop{Head: s, Blocks: map[*Block]bool{s: true}}
+				byHead[s] = l
+				order = append(order, s)
+			}
+			// Collect the body: walk predecessors back from the back
+			// edge's source until the header bounds the walk.
+			stack := []*Block{b}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[n] {
+					continue
+				}
+				l.Blocks[n] = true
+				stack = append(stack, n.Preds...)
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(order))
+	for _, h := range order {
+		loops = append(loops, byHead[h])
+	}
+	return loops
+}
+
+// InLoop reports whether block b lies inside any of the given loops.
+func InLoop(loops []*Loop, b *Block) bool {
+	for _, l := range loops {
+		if l.Contains(b) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,29 @@
+// Package callgraph is a lint fixture for goroutine reachability: every
+// spawn shape the callgraph resolves — direct method goroutines, method
+// calls wrapped in literals, and method values spawned through a local —
+// plus one worker that is never spawned at all.
+package callgraph
+
+type server struct {
+	n int
+}
+
+func (s *server) worker()  { s.n++ }
+func (s *server) worker2() { s.n++ }
+func (s *server) worker3() { s.n++ }
+func (s *server) worker4() { s.n++ }
+
+func (s *server) start() {
+	go s.worker()
+	go func() {
+		s.worker2()
+	}()
+	w := s.worker3
+	go w()
+}
+
+// onlyCalled invokes worker4 synchronously; it must not be goroutine-
+// reachable.
+func (s *server) onlyCalled() {
+	s.worker4()
+}

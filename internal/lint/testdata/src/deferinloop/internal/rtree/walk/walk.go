@@ -1,0 +1,74 @@
+// Package walk is a lint fixture for the deferinloop check: a deferred
+// release inside a loop runs at function return, not per iteration, and
+// so pins every visited node until the whole traversal finishes.
+package walk
+
+import "errors"
+
+type node struct {
+	id     int
+	closed bool
+}
+
+func (n *node) Close() error {
+	if n.closed {
+		return errors.New("double close")
+	}
+	n.closed = true
+	return nil
+}
+
+func open(id int) *node { return &node{id: id} }
+
+// traverseBad defers the release inside the loop: every node stays
+// pinned until the function returns.
+func traverseBad(ids []int) {
+	for _, id := range ids {
+		n := open(id)
+		defer n.Close()
+		_ = n.id
+	}
+}
+
+// traverseWrapped is the sanctioned rewrite: the per-iteration literal's
+// own return triggers the defer.
+func traverseWrapped(ids []int) {
+	for _, id := range ids {
+		func() {
+			n := open(id)
+			defer n.Close()
+			_ = n.id
+		}()
+	}
+}
+
+// traverseExplicit releases at the end of the iteration, no defer.
+func traverseExplicit(ids []int) error {
+	for _, id := range ids {
+		n := open(id)
+		if err := n.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// closeOnce defers outside any loop; the loop below is unrelated.
+func closeOnce(ids []int) int {
+	n := open(0)
+	defer n.Close()
+	sum := 0
+	for _, id := range ids {
+		sum += id
+	}
+	return sum
+}
+
+// suppressed documents a deliberately bounded accumulation.
+func suppressed(ids [4]int) {
+	for _, id := range ids {
+		n := open(id)
+		//lint:ignore deferinloop fixture: at most four handles accumulate
+		defer n.Close()
+	}
+}

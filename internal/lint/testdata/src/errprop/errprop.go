@@ -17,6 +17,23 @@ func drop(f *storage.DiskFile, pool *storage.BufferPool) {
 	_ = buf
 }
 
+// dropMultiline discards an error from the second line of a wrapped
+// statement: the finding anchors on the call's line, not the
+// statement's first line.
+func dropMultiline(f *storage.DiskFile) {
+	_, _ = f.PageSize(),
+		f.WritePage(0, nil)
+}
+
+// suppressedMultiline is the regression case for directives above
+// wrapped statements: the directive sits above the statement's first
+// line and must cover the finding on the second.
+func suppressedMultiline(f *storage.DiskFile) {
+	//lint:ignore errprop fixture: directive covers the wrapped statement
+	_, _ = f.PageSize(),
+		f.WritePage(0, nil)
+}
+
 // propagate is the legal pattern.
 func propagate(f *storage.DiskFile) error {
 	return f.Sync()

@@ -1,0 +1,6 @@
+// Package loadfail is a lint fixture that parses but does not
+// type-check, for testing that load failures surface as a non-zero exit
+// instead of silently shrinking the linted set.
+package loadfail
+
+var answer int = "forty-two"

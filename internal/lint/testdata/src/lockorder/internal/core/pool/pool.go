@@ -1,0 +1,113 @@
+// Package pool is a lint fixture for the lockorder check: the static
+// lock-ordering graph must be acyclic and no two instances of one shard
+// lock may be held at once.
+package pool
+
+import "sync"
+
+type registry struct {
+	amu sync.Mutex
+	bmu sync.Mutex
+	cmu sync.Mutex
+	dmu sync.Mutex
+	emu sync.Mutex
+	fmu sync.RWMutex
+}
+
+// lockAB and lockBA close a two-lock cycle: concurrent callers deadlock.
+func (r *registry) lockAB() {
+	r.amu.Lock()
+	r.bmu.Lock()
+	r.bmu.Unlock()
+	r.amu.Unlock()
+}
+
+func (r *registry) lockBA() {
+	r.bmu.Lock()
+	r.amu.Lock()
+	r.amu.Unlock()
+	r.bmu.Unlock()
+}
+
+// lockCThenHelper takes dmu through a helper while holding cmu; together
+// with lockDC below that closes an interprocedural cycle.
+func (r *registry) lockCThenHelper() {
+	r.cmu.Lock()
+	r.helperD()
+	r.cmu.Unlock()
+}
+
+func (r *registry) helperD() {
+	r.dmu.Lock()
+	r.dmu.Unlock()
+}
+
+func (r *registry) lockDC() {
+	r.dmu.Lock()
+	r.cmu.Lock()
+	r.cmu.Unlock()
+	r.dmu.Unlock()
+}
+
+// lockSequential is clean: emu is released before fmu is taken, so no
+// ordering edge exists.
+func (r *registry) lockSequential() {
+	r.emu.Lock()
+	r.emu.Unlock()
+	r.fmu.RLock()
+	r.fmu.RUnlock()
+}
+
+type shard struct {
+	mu    sync.Mutex
+	pages map[int][]byte
+}
+
+type sharded struct {
+	shards []*shard
+}
+
+// moveBad holds two shard locks at once; shard locks of one pool have no
+// fixed order, so two movers deadlock against each other.
+func (p *sharded) moveBad(src, dst, id int) {
+	p.shards[src].mu.Lock()
+	p.shards[dst].mu.Lock()
+	p.shards[dst].pages[id] = p.shards[src].pages[id]
+	delete(p.shards[src].pages, id)
+	p.shards[dst].mu.Unlock()
+	p.shards[src].mu.Unlock()
+}
+
+// moveStaged is clean: it copies out under the source lock, releases it,
+// then fills the destination — one shard lock at a time.
+func (p *sharded) moveStaged(src, dst, id int) {
+	p.shards[src].mu.Lock()
+	buf := p.shards[src].pages[id]
+	delete(p.shards[src].pages, id)
+	p.shards[src].mu.Unlock()
+	p.shards[dst].mu.Lock()
+	p.shards[dst].pages[id] = buf
+	p.shards[dst].mu.Unlock()
+}
+
+// shard2 has its own lock identity so the suppressed finding below is
+// distinct from moveBad's (the graph dedupes edges per lock pair).
+type shard2 struct {
+	mu    sync.Mutex
+	pages map[int][]byte
+}
+
+type sharded2 struct {
+	shards []*shard2
+}
+
+// moveSuppressed documents a deliberate double-shard hold (caller
+// serializes movers externally).
+func (p *sharded2) moveSuppressed(src, dst, id int) {
+	p.shards[src].mu.Lock()
+	//lint:ignore lockorder fixture: movers are serialized by the caller
+	p.shards[dst].mu.Lock()
+	p.shards[dst].pages[id] = p.shards[src].pages[id]
+	p.shards[dst].mu.Unlock()
+	p.shards[src].mu.Unlock()
+}

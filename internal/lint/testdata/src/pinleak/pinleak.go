@@ -1,0 +1,84 @@
+// Package pinleak is a lint fixture: a closeable handle obtained from a
+// storage constructor must be released on every control-flow path or
+// demonstrably change owner.
+package pinleak
+
+import "repro/internal/storage"
+
+// leakEarlyReturn closes the file on the normal path but not on the
+// early return.
+func leakEarlyReturn(path string, flag bool) error {
+	df, err := storage.CreateDiskFile(path, 4096)
+	if err != nil {
+		return err
+	}
+	if flag {
+		return nil
+	}
+	return df.Close()
+}
+
+// leakPanic closes the file on the normal path but not past the panic.
+func leakPanic(path string, n int) error {
+	df, err := storage.CreateDiskFile(path, 4096)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		panic("negative page count")
+	}
+	return df.Close()
+}
+
+// leakPlainUse reads through the handle but never closes it; a plain
+// read does not transfer ownership.
+func leakPlainUse(path string) (int64, error) {
+	df, err := storage.CreateDiskFile(path, 4096)
+	if err != nil {
+		return 0, err
+	}
+	n := df.NumPages()
+	return n, nil
+}
+
+// okDefer is the canonical pattern: a deferred Close right after the
+// error check covers every later path, panics included.
+func okDefer(path string, n int) error {
+	df, err := storage.CreateDiskFile(path, 4096)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	if n < 0 {
+		panic("negative page count")
+	}
+	return nil
+}
+
+// okEscapeReturn hands the handle to the caller, who owns it now.
+func okEscapeReturn(path string) (*storage.DiskFile, error) {
+	df, err := storage.CreateDiskFile(path, 4096)
+	if err != nil {
+		return nil, err
+	}
+	return df, nil
+}
+
+// okEscapeArg passes the handle into a constructor; the pool owns it.
+func okEscapeArg(pageSize int) *storage.BufferPool {
+	mf := storage.NewMemFile(pageSize)
+	return storage.NewBufferPool(mf, 8)
+}
+
+// suppressed leaks deliberately, with the leak documented in place.
+func suppressed(path string, flag bool) error {
+	//lint:ignore pinleak fixture demonstrates suppressing a deliberate leak
+	df, err := storage.CreateDiskFile(path, 4096)
+	if err != nil {
+		return err
+	}
+	if flag {
+		return nil
+	}
+	return df.Close()
+}
