@@ -12,6 +12,12 @@
 #                      the single supported lint entry point)
 #   ./ci.sh lint-self  the analyzer over its own sources, plus the
 #                      fuzz seed-corpus presence check
+#   ./ci.sh bench      the PR 4 perf gate: the hot-path Go benchmarks
+#                      (Fig. 4/7, parallel K-CPQ, pair heap) with
+#                      -benchmem, then the leafscan ablation, which
+#                      fails if the plane-sweep leaf scan evaluates
+#                      more point pairs than the brute scan; writes
+#                      BENCH_PR4.json
 set -eu
 
 lint() {
@@ -30,6 +36,18 @@ lint_self() {
 			exit 1
 		fi
 	done
+}
+
+# bench regenerates BENCH_PR4.json and enforces the leaf-scan regression
+# gate: cpqbench -pr4 exits non-zero if the sweep evaluates more point
+# pairs than the brute scan on the standard uniform workload. The Go
+# benchmarks run once per case (-benchtime 1x) as a smoke pass; rerun
+# them with a higher -benchtime for stable timings.
+bench() {
+	go test -run '^$' -bench 'BenchmarkFig4Algorithms1CP|BenchmarkFig7KCP' -benchtime 1x -benchmem .
+	go test -run '^$' -bench 'BenchmarkParallelKCPQ' -benchtime 1x -benchmem ./internal/bench
+	go test -run '^$' -bench 'BenchmarkPairHeap' -benchtime 100x -benchmem ./internal/core
+	go run ./cmd/cpqbench -experiment leafscan -pr4 BENCH_PR4.json
 }
 
 all() {
@@ -51,8 +69,9 @@ case "${1:-all}" in
 all) all ;;
 lint) lint ;;
 lint-self) lint_self ;;
+bench) bench ;;
 *)
-	echo "usage: $0 [all|lint|lint-self]" >&2
+	echo "usage: $0 [all|lint|lint-self|bench]" >&2
 	exit 2
 	;;
 esac

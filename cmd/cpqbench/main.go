@@ -9,6 +9,9 @@
 //	cpqbench -quick                # 1/10 cardinalities (smoke run)
 //	cpqbench -scale 0.25           # custom scale
 //	cpqbench -parallel 4           # 4 HEAP workers (0 = GOMAXPROCS)
+//	cpqbench -leafscan brute       # force a leaf scan strategy on every run
+//	cpqbench -nodecache 4096       # attach a decoded-node cache to every tree
+//	cpqbench -pr4 BENCH_PR4.json   # run the leafscan ablation, write its report
 //	cpqbench -json                 # one JSON summary object per experiment
 //	cpqbench -list                 # list experiments
 //	cpqbench -out results.txt      # also write output to a file
@@ -44,6 +47,9 @@ func main() {
 		quick      = flag.Bool("quick", false, "scale cardinalities down to 1/10 for a fast smoke run")
 		scale      = flag.Float64("scale", 1.0, "cardinality scale factor (1.0 = the paper's sizes)")
 		parallel   = flag.Int("parallel", 1, "HEAP worker count for experiments that don't pick their own; 1 = the paper's sequential algorithm, 0 = GOMAXPROCS")
+		leafScan   = flag.String("leafscan", "", "force a leaf scan strategy on every run: sweep or brute (default: per-experiment choice)")
+		nodeCache  = flag.Int("nodecache", 0, "decoded-node cache capacity (nodes per tree) attached to experiment trees; 0 = no cache (the paper's exact disk accounting)")
+		pr4        = flag.String("pr4", "", "run the leafscan ablation and write its JSON report to this file")
 		jsonOut    = flag.Bool("json", false, "emit one JSON summary per experiment on stdout (tables go only to -out)")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		out        = flag.String("out", "", "also write the report to this file")
@@ -63,6 +69,19 @@ func main() {
 		workers = runtime.GOMAXPROCS(0)
 	} else {
 		bench.SetDefaultParallelism(workers)
+	}
+
+	switch *leafScan {
+	case "":
+	case "sweep":
+		bench.SetDefaultLeafScan(core.LeafScanSweep)
+	case "brute":
+		bench.SetDefaultLeafScan(core.LeafScanBrute)
+	default:
+		fatal(fmt.Errorf("unknown -leafscan %q; want sweep or brute", *leafScan))
+	}
+	if *nodeCache > 0 {
+		bench.SetDefaultNodeCache(*nodeCache)
 	}
 
 	s := *scale
@@ -102,6 +121,20 @@ func main() {
 			toRun = append(toRun, e)
 		}
 	}
+	if *pr4 != "" {
+		// -pr4 needs the leafscan ablation; append it if not selected.
+		found := false
+		for _, e := range toRun {
+			if e.Name == "leafscan" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			e, _ := bench.ByName("leafscan")
+			toRun = append(toRun, e)
+		}
+	}
 
 	fmt.Fprintf(w, "cpqbench — Closest Pair Queries in Spatial Databases (SIGMOD 2000) reproduction\n")
 	fmt.Fprintf(w, "scale %.3g; page size 1KB, M=21, m=7; disk accesses = buffer misses (B/2 pages per tree)\n\n", s)
@@ -128,6 +161,21 @@ func main() {
 		}
 	}
 	fmt.Fprintf(w, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+
+	if *pr4 != "" {
+		rep := bench.LeafScanReport()
+		if rep == nil {
+			fatal(fmt.Errorf("leafscan ablation produced no report"))
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*pr4, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "wrote leafscan report to %s\n", *pr4)
+	}
 }
 
 func fatal(err error) {

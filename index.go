@@ -29,6 +29,10 @@ type Neighbor struct {
 // are buffer misses — the paper's "disk accesses".
 type IOStats = storage.IOStats
 
+// NodeCacheStats exposes the hit/miss counters of an index's decoded-node
+// cache (see WithNodeCache).
+type NodeCacheStats = rtree.CacheStats
+
 // Index is one spatial data set stored in a disk-based R*-tree behind an
 // LRU buffer pool. An Index is not safe for concurrent mutation.
 type Index struct {
@@ -39,13 +43,14 @@ type Index struct {
 }
 
 type indexConfig struct {
-	pageSize     int
-	maxEntries   int
-	minEntries   int
-	bufferPages  int
-	bufferShards int
-	path         string
-	bulkFill     float64
+	pageSize       int
+	maxEntries     int
+	minEntries     int
+	bufferPages    int
+	bufferShards   int
+	nodeCacheNodes int
+	path           string
+	bulkFill       float64
 }
 
 // IndexOption configures NewIndex / BuildIndex / OpenIndex.
@@ -95,6 +100,27 @@ func WithBufferShards(n int) IndexOption {
 			return fmt.Errorf("cpq: buffer shards must be >= 1, got %d", n)
 		}
 		c.bufferShards = n
+		return nil
+	}
+}
+
+// WithNodeCache attaches a decoded-node cache holding up to the given
+// number of nodes (0, the default, disables it). A cache hit serves an
+// already-decoded, immutable node without touching the buffer pool at all,
+// which makes repeated traversals of the upper tree levels (the HEAP
+// frontier's habit) much cheaper — but it also means cached reads no
+// longer appear in IOStats, so experiments reproducing the paper's
+// disk-access figures must leave it off. Cache hit/miss counts are
+// reported separately (Stats.NodeCacheHits / NodeCacheMisses and
+// Index.NodeCacheStats). The cache is sharded like the buffer pool
+// (WithBufferShards) so parallel workers do not serialize on it, and it is
+// kept consistent by invalidation on every node write.
+func WithNodeCache(nodes int) IndexOption {
+	return func(c *indexConfig) error {
+		if nodes < 0 {
+			return fmt.Errorf("cpq: negative node cache size %d", nodes)
+		}
+		c.nodeCacheNodes = nodes
 		return nil
 	}
 }
@@ -166,6 +192,9 @@ func NewIndex(opts ...IndexOption) (*Index, error) {
 	if err != nil {
 		return nil, errors.Join(err, idx.file.Close())
 	}
+	if c.nodeCacheNodes > 0 {
+		tree.SetNodeCache(rtree.NewNodeCache(c.nodeCacheNodes, c.bufferShards))
+	}
 	idx.tree = tree
 	return idx, nil
 }
@@ -219,6 +248,9 @@ func OpenIndex(path string, opts ...IndexOption) (*Index, error) {
 	if err != nil {
 		return nil, errors.Join(err, df.Close())
 	}
+	if c.nodeCacheNodes > 0 {
+		tree.SetNodeCache(rtree.NewNodeCache(c.nodeCacheNodes, c.bufferShards))
+	}
 	return &Index{tree: tree, pool: pool, file: df, disk: df}, nil
 }
 
@@ -266,14 +298,30 @@ func (i *Index) Nearest(p Point, k int) ([]Neighbor, error) {
 // each tree half of the total buffer B.
 func (i *Index) SetBufferPages(pages int) { i.pool.Resize(pages) }
 
-// DropCaches empties the buffer pool, so following reads hit "disk".
-func (i *Index) DropCaches() { i.pool.Clear() }
+// DropCaches empties the buffer pool and the decoded-node cache (if one is
+// attached), so following reads hit "disk".
+func (i *Index) DropCaches() {
+	i.pool.Clear()
+	if c := i.tree.NodeCache(); c != nil {
+		c.Clear()
+	}
+}
 
-// ResetIOStats zeroes the access counters.
-func (i *Index) ResetIOStats() { i.pool.ResetStats() }
+// ResetIOStats zeroes the access counters (including the node-cache
+// hit/miss counters when a cache is attached).
+func (i *Index) ResetIOStats() {
+	i.pool.ResetStats()
+	if c := i.tree.NodeCache(); c != nil {
+		c.ResetStats()
+	}
+}
 
 // IOStats returns the index's storage counters since the last reset.
 func (i *Index) IOStats() IOStats { return i.pool.Stats() }
+
+// NodeCacheStats returns the decoded-node cache's hit/miss counters since
+// the last reset (zero when WithNodeCache was not used).
+func (i *Index) NodeCacheStats() NodeCacheStats { return i.tree.NodeCacheStats() }
 
 // CheckInvariants validates the underlying tree structure (testing and
 // tooling aid).

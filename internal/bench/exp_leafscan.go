@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rtree"
+)
+
+// This file is the leaf-scan / node-cache A/B ablation behind
+// BENCH_PR4.json: the paper's standard uniform workload (100,000 points per
+// tree at scale 1.0, 100% overlap, K = 100) run under every combination of
+// leaf scan strategy (brute vs plane-sweep) and decoded-node cache (off vs
+// on), sequentially and with the parallel HEAP engine. It doubles as the
+// regression gate for the sweep: the experiment fails if the sweep
+// evaluates more point pairs than the brute scan on this workload.
+
+// pr4CacheNodes is the decoded-node cache capacity per tree for the
+// cache-on configurations: large enough to hold the whole tree, so the
+// measured hit rate reflects how often the traversal re-reads nodes rather
+// than the eviction policy.
+const pr4CacheNodes = 1 << 15
+
+// PR4Run is one measured configuration of the ablation.
+type PR4Run struct {
+	Label        string  `json:"label"`
+	Algorithm    string  `json:"algorithm"`
+	K            int     `json:"k"`
+	LeafScan     string  `json:"leaf_scan"`
+	NodeCache    bool    `json:"node_cache"`
+	Workers      int     `json:"workers"`
+	WallMS       float64 `json:"wall_ms"`
+	Accesses     int64   `json:"accesses"`
+	NodePairs    int64   `json:"node_pairs"`
+	PointPairs   int64   `json:"point_pairs"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// PR4Report is the machine-readable record of one leafscan experiment run
+// (cpqbench -pr4 writes it to BENCH_PR4.json).
+type PR4Report struct {
+	N          int      `json:"n"`
+	Scale      float64  `json:"scale"`
+	BufferB    int      `json:"buffer_pages"`
+	CacheNodes int      `json:"cache_nodes"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Runs       []PR4Run `json:"runs"`
+	// SweepPointPairReduction is brute/sweep point pairs for the
+	// sequential HEAP K=100 run without a cache (the acceptance metric).
+	SweepPointPairReduction float64 `json:"sweep_point_pair_reduction"`
+	// HeapCacheHitRate is the node-cache hit rate of the sequential HEAP
+	// K=100 sweep run with the cache on.
+	HeapCacheHitRate float64 `json:"heap_cache_hit_rate"`
+	// SeqHeapSpeedup and ParHeapSpeedup compare wall-clock of the fully
+	// optimised configuration (sweep + cache) against the baseline (brute,
+	// no cache), sequentially and at GOMAXPROCS workers.
+	SeqHeapSpeedup float64 `json:"seq_heap_speedup"`
+	ParHeapSpeedup float64 `json:"par_heap_speedup"`
+}
+
+var pr4Last struct {
+	mu     sync.Mutex
+	report *PR4Report
+}
+
+// LeafScanReport returns the report of the most recent "leafscan"
+// experiment run, nil if it has not run.
+func LeafScanReport() *PR4Report {
+	pr4Last.mu.Lock()
+	defer pr4Last.mu.Unlock()
+	return pr4Last.report
+}
+
+// pr4Config is one cell of the ablation grid.
+type pr4Config struct {
+	label    string
+	alg      core.Algorithm
+	k        int
+	leafScan core.LeafScan
+	cache    bool
+	workers  int
+}
+
+// runLeafScanConfig measures one configuration: reps cold-start runs, best
+// wall time, stats from the last run (stats are deterministic per config
+// for the sequential algorithms).
+func runLeafScanConfig(ta, tb *rtree.Tree, c pr4Config, buffer, reps int) (PR4Run, error) {
+	for _, tr := range []*rtree.Tree{ta, tb} {
+		if c.cache {
+			tr.SetNodeCache(rtree.NewNodeCache(pr4CacheNodes, 16))
+		} else {
+			tr.SetNodeCache(nil)
+		}
+	}
+	opts := core.DefaultOptions(c.alg)
+	opts.LeafScan = c.leafScan
+	opts.Parallelism = c.workers
+	var stats core.Stats
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		s, err := RunCore(ta, tb, c.k, opts, buffer)
+		if err != nil {
+			return PR4Run{}, err
+		}
+		if wall := time.Since(start); wall < best {
+			best = wall
+		}
+		stats = s
+	}
+	cache := rtree.CacheStats{Hits: stats.NodeCacheHits, Misses: stats.NodeCacheMisses}
+	return PR4Run{
+		Label:        c.label,
+		Algorithm:    c.alg.String(),
+		K:            c.k,
+		LeafScan:     c.leafScan.String(),
+		NodeCache:    c.cache,
+		Workers:      c.workers,
+		WallMS:       float64(best) / float64(time.Millisecond),
+		Accesses:     stats.Accesses(),
+		NodePairs:    stats.NodePairsProcessed,
+		PointPairs:   stats.PointPairsCompared,
+		CacheHits:    cache.Hits,
+		CacheMisses:  cache.Misses,
+		CacheHitRate: cache.HitRate(),
+	}, nil
+}
+
+// runLeafScan is the "leafscan" experiment.
+func runLeafScan(l *Lab, w io.Writer) error {
+	// The ablation controls the leaf scan per run; neutralise a cpqbench
+	// -leafscan override for its duration.
+	savedScan := defaultLeafScan.Load()
+	savedPar := defaultParallelism.Load()
+	defaultLeafScan.Store(0)
+	defaultParallelism.Store(0)
+	defer func() {
+		defaultLeafScan.Store(savedScan)
+		defaultParallelism.Store(savedPar)
+	}()
+
+	cfg := l.Config
+	if cfg.PageSize == 0 {
+		cfg = rtree.DefaultConfig()
+	}
+	n := l.ScaledN(100000)
+	const buffer = 512
+	ta, err := buildParallelTree(cfg, 91, n, 0)
+	if err != nil {
+		return err
+	}
+	tb, err := buildParallelTree(cfg, 92, n, 0)
+	if err != nil {
+		return err
+	}
+	// The grid attaches its own caches per configuration.
+	ta.SetNodeCache(nil)
+	tb.SetNodeCache(nil)
+	defer ta.SetNodeCache(nil)
+	defer tb.SetNodeCache(nil)
+
+	workers := runtime.GOMAXPROCS(0)
+	grid := []pr4Config{
+		{"fig4-style 1-CP", core.Heap, 1, core.LeafScanBrute, false, 1},
+		{"fig4-style 1-CP", core.Heap, 1, core.LeafScanSweep, false, 1},
+		{"fig7-style K-CP", core.SortedDistances, 100, core.LeafScanBrute, false, 1},
+		{"fig7-style K-CP", core.SortedDistances, 100, core.LeafScanSweep, false, 1},
+		{"fig7-style K-CP", core.Heap, 100, core.LeafScanBrute, false, 1},
+		{"fig7-style K-CP", core.Heap, 100, core.LeafScanSweep, false, 1},
+		{"fig7-style K-CP", core.Heap, 100, core.LeafScanBrute, true, 1},
+		{"fig7-style K-CP", core.Heap, 100, core.LeafScanSweep, true, 1},
+		{"parallel K-CP", core.Heap, 100, core.LeafScanBrute, false, workers},
+		{"parallel K-CP", core.Heap, 100, core.LeafScanSweep, true, workers},
+	}
+
+	rep := &PR4Report{
+		N:          n,
+		Scale:      l.scale(),
+		BufferB:    buffer,
+		CacheNodes: pr4CacheNodes,
+		GOMAXPROCS: workers,
+	}
+	t := newTable(
+		fmt.Sprintf("Ablation: leaf-scan A/B + decoded-node cache (uniform %d/%d bulk-loaded, 100%% overlap, B=%d)", n, n, buffer),
+		"workload", "alg", "K", "scan", "cache", "wkr", "wall", "accesses", "point pairs", "cache hit%")
+	for _, c := range grid {
+		run, err := runLeafScanConfig(ta, tb, c, buffer, 3)
+		if err != nil {
+			return err
+		}
+		rep.Runs = append(rep.Runs, run)
+		hitPct := "-"
+		if c.cache {
+			hitPct = fmt.Sprintf("%.1f%%", run.CacheHitRate*100)
+		}
+		cacheLabel := "off"
+		if c.cache {
+			cacheLabel = "on"
+		}
+		t.addRow(run.Label, run.Algorithm, fmt.Sprintf("%d", run.K), run.LeafScan,
+			cacheLabel, fmt.Sprintf("%d", run.Workers),
+			(time.Duration(run.WallMS * float64(time.Millisecond))).Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", run.Accesses),
+			fmt.Sprintf("%d", run.PointPairs),
+			hitPct)
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+
+	find := func(label string, ls core.LeafScan, cache bool, workers int) *PR4Run {
+		for i := range rep.Runs {
+			r := &rep.Runs[i]
+			if r.Label == label && r.LeafScan == ls.String() && r.NodeCache == cache &&
+				r.Workers == workers && r.Algorithm == "HEAP" {
+				return r
+			}
+		}
+		return nil
+	}
+	brute := find("fig7-style K-CP", core.LeafScanBrute, false, 1)
+	sweep := find("fig7-style K-CP", core.LeafScanSweep, false, 1)
+	sweepCached := find("fig7-style K-CP", core.LeafScanSweep, true, 1)
+	parBase := find("parallel K-CP", core.LeafScanBrute, false, workers)
+	parOpt := find("parallel K-CP", core.LeafScanSweep, true, workers)
+
+	// The regression gate of `ci.sh bench`: the sweep evaluates a subset
+	// of the brute scan's point pairs on the standard uniform workload.
+	if sweep.PointPairs > brute.PointPairs {
+		return fmt.Errorf("leafscan: sweep evaluated %d point pairs, brute %d — sweep must not exceed brute",
+			sweep.PointPairs, brute.PointPairs)
+	}
+	if sweep.PointPairs > 0 {
+		rep.SweepPointPairReduction = float64(brute.PointPairs) / float64(sweep.PointPairs)
+	}
+	rep.HeapCacheHitRate = sweepCached.CacheHitRate
+	if opt := sweepCached.WallMS; opt > 0 {
+		rep.SeqHeapSpeedup = brute.WallMS / opt
+	}
+	if parOpt.WallMS > 0 {
+		rep.ParHeapSpeedup = parBase.WallMS / parOpt.WallMS
+	}
+	pr4Last.mu.Lock()
+	pr4Last.report = rep
+	pr4Last.mu.Unlock()
+
+	_, err = fmt.Fprintf(w,
+		"sweep point-pair reduction (seq HEAP K=100): %.1fx; node-cache hit rate: %.1f%%; wall speedup seq %.2fx, parallel %.2fx.\n\n",
+		rep.SweepPointPairReduction, rep.HeapCacheHitRate*100, rep.SeqHeapSpeedup, rep.ParHeapSpeedup)
+	return err
+}

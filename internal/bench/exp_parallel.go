@@ -34,6 +34,7 @@ func buildParallelTree(cfg rtree.Config, seed int64, n int, shift float64) (*rtr
 	if err := tr.BulkLoad(items, 0.7); err != nil {
 		return nil, err
 	}
+	attachDefaultNodeCache(tr)
 	return tr, nil
 }
 

@@ -34,6 +34,7 @@ var registry = []Experiment{
 	{"policies", "Ablation: LRU vs FIFO vs CLOCK buffer replacement", runPolicies},
 	{"semi", "Semi-CPQ: per-point NN vs batched leaf traversal", runSemi},
 	{"parallel", "Parallel HEAP engine: wall-clock speedup and accesses vs workers", runParallel},
+	{"leafscan", "Ablation: plane-sweep vs brute leaf scan, decoded-node cache on/off", runLeafScan},
 }
 
 // Experiments lists every registered experiment in presentation order.

@@ -8,6 +8,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -116,6 +118,7 @@ func (l *Lab) Tree(spec DataSpec) (*rtree.Tree, error) {
 			return nil, fmt.Errorf("bench: building %+v: %w", spec, err)
 		}
 	}
+	attachDefaultNodeCache(t)
 	l.trees[spec] = t
 	return t, nil
 }
@@ -154,8 +157,8 @@ func (l *Lab) Pair(left, right DataSpec, overlap float64) (*rtree.Tree, *rtree.T
 }
 
 // prepare configures the paper's buffer scheme for one measured run: an
-// LRU buffer of B pages split evenly between the two trees, cold caches,
-// zeroed counters.
+// LRU buffer of B pages split evenly between the two trees, cold caches
+// (node caches included, when attached), zeroed counters.
 func prepare(ta, tb *rtree.Tree, bufferPages int) {
 	half := bufferPages / 2
 	ta.Pool().Resize(half)
@@ -164,6 +167,12 @@ func prepare(ta, tb *rtree.Tree, bufferPages int) {
 	tb.Pool().Clear()
 	ta.Pool().ResetStats()
 	tb.Pool().ResetStats()
+	for _, tr := range []*rtree.Tree{ta, tb} {
+		if c := tr.NodeCache(); c != nil {
+			c.Clear()
+			c.ResetStats()
+		}
+	}
 }
 
 // defaultParallelism, when non-zero, overrides a zero Options.Parallelism
@@ -176,6 +185,57 @@ var defaultParallelism atomic.Int64
 // do not choose one themselves (0 restores the sequential default;
 // core.AutoParallelism selects GOMAXPROCS).
 func SetDefaultParallelism(n int) { defaultParallelism.Store(int64(n)) }
+
+// defaultLeafScan, when set (stored value = LeafScan + 1), overrides
+// Options.LeafScan in RunCore: cpqbench -leafscan and the CPQ_LEAFSCAN env
+// knob plumb through here so every experiment and benchmark can be A/B'd
+// between the plane-sweep and brute leaf scans without per-experiment
+// wiring.
+var defaultLeafScan atomic.Int64
+
+// SetDefaultLeafScan forces a leaf scan strategy onto every RunCore call.
+// Pass a negative value to restore the per-experiment default.
+func SetDefaultLeafScan(l core.LeafScan) { defaultLeafScan.Store(int64(l) + 1) }
+
+// ClearDefaultLeafScan restores the per-experiment leaf scan choice.
+func ClearDefaultLeafScan() { defaultLeafScan.Store(0) }
+
+// defaultNodeCache is the decoded-node cache capacity (nodes per tree)
+// Lab.Tree and buildParallelTree attach to freshly built trees; 0 (the
+// default) builds trees without a cache, preserving the paper's exact
+// disk-access accounting. cpqbench -nodecache and the CPQ_NODECACHE env
+// knob plumb through here.
+var defaultNodeCache atomic.Int64
+
+// SetDefaultNodeCache sets the node-cache capacity attached to trees built
+// afterwards (0 disables).
+func SetDefaultNodeCache(nodes int) { defaultNodeCache.Store(int64(nodes)) }
+
+// attachDefaultNodeCache attaches a cache to a freshly built tree when the
+// default capacity is set.
+func attachDefaultNodeCache(t *rtree.Tree) {
+	if n := defaultNodeCache.Load(); n > 0 {
+		t.SetNodeCache(rtree.NewNodeCache(int(n), 16))
+	}
+}
+
+// init wires the env knobs used by `ci.sh bench` to re-run the Go
+// benchmarks under the pre-optimisation configuration
+// (CPQ_LEAFSCAN=brute) or with the decoded-node cache attached
+// (CPQ_NODECACHE=<nodes per tree>).
+func init() {
+	switch os.Getenv("CPQ_LEAFSCAN") {
+	case "brute":
+		SetDefaultLeafScan(core.LeafScanBrute)
+	case "sweep":
+		SetDefaultLeafScan(core.LeafScanSweep)
+	}
+	if v := os.Getenv("CPQ_NODECACHE"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			SetDefaultNodeCache(n)
+		}
+	}
+}
 
 // Totals aggregates the cost of every RunCore / RunIncremental call since
 // the last ResetTotals. cpqbench's -json mode snapshots it per experiment.
@@ -212,6 +272,9 @@ func RunCore(ta, tb *rtree.Tree, k int, opts core.Options, bufferPages int) (cor
 	prepare(ta, tb, bufferPages)
 	if opts.Parallelism == 0 {
 		opts.Parallelism = int(defaultParallelism.Load())
+	}
+	if l := defaultLeafScan.Load(); l > 0 {
+		opts.LeafScan = core.LeafScan(l - 1)
 	}
 	_, stats, err := core.KClosestPairs(ta, tb, k, opts)
 	if err == nil {

@@ -53,4 +53,54 @@ func BenchmarkParallelKCPQ(b *testing.B) {
 			b.ReportMetric(float64(accesses)/float64(b.N), "accesses")
 		})
 	}
+	// Variants of the same workload along the PR 4 axes: leaf scan strategy
+	// and the decoded-node cache, at 1 worker and at the full schedule's
+	// maximum, so `ci.sh bench` captures the hot-path ablation in one run.
+	savedScan := defaultLeafScan.Load()
+	defaultLeafScan.Store(0) // the variants control the scan themselves
+	defer defaultLeafScan.Store(savedScan)
+	maxWorkers := parallelWorkerSchedule[len(parallelWorkerSchedule)-1]
+	for _, v := range []struct {
+		name    string
+		scan    core.LeafScan
+		cache   bool
+		workers int
+	}{
+		{"leafscan=brute/cache=off/workers=1", core.LeafScanBrute, false, 1},
+		{"leafscan=sweep/cache=off/workers=1", core.LeafScanSweep, false, 1},
+		{"leafscan=sweep/cache=on/workers=1", core.LeafScanSweep, true, 1},
+		{"leafscan=sweep/cache=on/workers=max", core.LeafScanSweep, true, maxWorkers},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for _, tr := range []*rtree.Tree{ta, tb} {
+				if v.cache {
+					tr.SetNodeCache(rtree.NewNodeCache(1<<15, 16))
+				} else {
+					tr.SetNodeCache(nil)
+				}
+			}
+			defer func() {
+				ta.SetNodeCache(nil)
+				tb.SetNodeCache(nil)
+			}()
+			opts := core.DefaultOptions(core.Heap)
+			opts.LeafScan = v.scan
+			opts.Parallelism = v.workers
+			var pointPairs, hits, lookups int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := RunCore(ta, tb, 100, opts, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pointPairs += stats.PointPairsCompared
+				hits += stats.NodeCacheHits
+				lookups += stats.NodeCacheHits + stats.NodeCacheMisses
+			}
+			b.ReportMetric(float64(pointPairs)/float64(b.N), "point-pairs")
+			if lookups > 0 {
+				b.ReportMetric(float64(hits)/float64(lookups), "cache-hit-rate")
+			}
+		})
+	}
 }

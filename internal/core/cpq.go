@@ -32,6 +32,8 @@ func KClosestPairs(ta, tb *rtree.Tree, k int, opts Options) ([]Pair, Stats, erro
 
 	startA := ta.Pool().Stats()
 	startB := tb.Pool().Stats()
+	startCA := ta.NodeCacheStats()
+	startCB := tb.NodeCacheStats()
 
 	root, err := j.rootPair()
 	if err != nil {
@@ -54,6 +56,13 @@ func KClosestPairs(ta, tb *rtree.Tree, k int, opts Options) ([]Pair, Stats, erro
 	stats.IOP = ta.Pool().Stats().Sub(startA)
 	if ta.Pool() != tb.Pool() {
 		stats.IOQ = tb.Pool().Stats().Sub(startB)
+	}
+	ca := ta.NodeCacheStats().Sub(startCA)
+	stats.NodeCacheHits, stats.NodeCacheMisses = ca.Hits, ca.Misses
+	if ta != tb {
+		cb := tb.NodeCacheStats().Sub(startCB)
+		stats.NodeCacheHits += cb.Hits
+		stats.NodeCacheMisses += cb.Misses
 	}
 	return j.results(), stats, nil
 }

@@ -250,32 +250,48 @@ func nodeGuaranteedPoints(m float64, n *rtree.Node) float64 {
 	return float64(len(n.Entries)) * math.Pow(m, float64(n.Level))
 }
 
-// scanLeaves performs step CP3: evaluate every point pair between two
-// leaves against the K-heap.
+// scanLeaves performs step CP3 for the sequential algorithms: evaluate the
+// point pairs between two leaves against the join's K-heap, pruned by the
+// auxiliary bound (the K-heap's own threshold applies in any case).
 func (j *join) scanLeaves(na, nb *rtree.Node) {
-	j.scanLeavesInto(na, nb, j.kheap)
+	j.scanLeavesInto(na, nb, j.kheap, j.bound)
 }
 
-// scanLeavesInto evaluates every point pair between two leaves against the
+// scanLeavesInto evaluates the point pairs between two leaves against the
 // given K-heap (the join's own for the sequential algorithms, a worker's
-// local heap in parallel mode). It returns the smallest distance (squared)
-// the heap accepted, +Inf if none — the signal parallel workers use to
-// decide whether merging their local heap can tighten the published bound.
-func (j *join) scanLeavesInto(na, nb *rtree.Node, kh *kHeap) float64 {
+// local heap in parallel mode). extBound is a pruning distance (squared)
+// from outside the heap — the sequential auxiliary bound or the parallel
+// engine's published bound; pairs farther than min(extBound, K-heap
+// threshold) cannot enter the final result, which the sweep scan exploits.
+// It returns the smallest distance (squared) the heap accepted, +Inf if
+// none — the signal parallel workers use to decide whether merging their
+// local heap can tighten the published bound.
+func (j *join) scanLeavesInto(na, nb *rtree.Node, kh *kHeap, extBound float64) float64 {
+	if j.opts.LeafScan == LeafScanBrute {
+		return j.scanLeavesBrute(na, nb, kh)
+	}
+	return j.scanLeavesSweep(na, nb, kh, extBound)
+}
+
+// scanLeavesBrute is the paper's CP3: evaluate all n*m entry pairs.
+func (j *join) scanLeavesBrute(na, nb *rtree.Node, kh *kHeap) float64 {
 	minAccepted := math.Inf(1)
 	for i := range na.Entries {
 		ea := &na.Entries[i]
 		for t := range nb.Entries {
 			eb := &nb.Entries[t]
 			d := j.metric.MinMinKey(ea.Rect, eb.Rect)
-			accepted := kh.offer(kPair{
+			if !kh.wouldAccept(d) {
+				continue
+			}
+			kh.offer(kPair{
 				distSq: d,
 				p:      [2]float64{ea.Rect.Min.X, ea.Rect.Min.Y},
 				q:      [2]float64{eb.Rect.Min.X, eb.Rect.Min.Y},
 				refP:   ea.Ref,
 				refQ:   eb.Ref,
 			})
-			if accepted && d < minAccepted {
+			if d < minAccepted {
 				minAccepted = d
 			}
 		}

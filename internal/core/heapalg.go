@@ -13,15 +13,7 @@ func (h *pairHeap) Len() int { return len(h.pairs) }
 
 func (h *pairHeap) push(p nodePair) {
 	h.pairs = append(h.pairs, p)
-	i := len(h.pairs) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.pairs[i].less(h.pairs[parent]) {
-			break
-		}
-		h.pairs[i], h.pairs[parent] = h.pairs[parent], h.pairs[i]
-		i = parent
-	}
+	h.siftUp(len(h.pairs) - 1)
 }
 
 func (h *pairHeap) pop() nodePair {
@@ -29,23 +21,37 @@ func (h *pairHeap) pop() nodePair {
 	last := len(h.pairs) - 1
 	h.pairs[0] = h.pairs[last]
 	h.pairs = h.pairs[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *pairHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.pairs[i].less(&h.pairs[parent]) {
+			return
+		}
+		h.pairs[i], h.pairs[parent] = h.pairs[parent], h.pairs[i]
+		i = parent
+	}
+}
+
+func (h *pairHeap) siftDown(i int) {
 	n := len(h.pairs)
-	i := 0
 	for {
 		smallest := i
-		if l := 2*i + 1; l < n && h.pairs[l].less(h.pairs[smallest]) {
+		if l := 2*i + 1; l < n && h.pairs[l].less(&h.pairs[smallest]) {
 			smallest = l
 		}
-		if r := 2*i + 2; r < n && h.pairs[r].less(h.pairs[smallest]) {
+		if r := 2*i + 2; r < n && h.pairs[r].less(&h.pairs[smallest]) {
 			smallest = r
 		}
 		if smallest == i {
-			break
+			return
 		}
 		h.pairs[i], h.pairs[smallest] = h.pairs[smallest], h.pairs[i]
 		i = smallest
 	}
-	return top
 }
 
 // runHeap drives the iterative Heap algorithm from the given root pair:

@@ -42,16 +42,24 @@ func (h *kHeap) full() bool { return len(h.pairs) >= h.k }
 // reuse their local heap between merges).
 func (h *kHeap) reset() { h.pairs = h.pairs[:0] }
 
+// wouldAccept reports whether a pair at the given distance (squared) would
+// enter the heap. Leaf scans call it before materialising a kPair, so
+// rejected candidates — the overwhelming majority once the heap is full —
+// cost one float comparison and no copying.
+func (h *kHeap) wouldAccept(distSq float64) bool {
+	return len(h.pairs) < h.k || distSq < h.pairs[0].distSq
+}
+
 // offer inserts a candidate pair if it qualifies, returning true when the
 // result set changed.
 func (h *kHeap) offer(p kPair) bool {
+	if !h.wouldAccept(p.distSq) {
+		return false
+	}
 	if len(h.pairs) < h.k {
 		h.pairs = append(h.pairs, p)
 		h.siftUp(len(h.pairs) - 1)
 		return true
-	}
-	if p.distSq >= h.pairs[0].distSq {
-		return false
 	}
 	h.pairs[0] = p
 	h.siftDown(0)

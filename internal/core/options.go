@@ -136,6 +136,38 @@ func (h HeightStrategy) String() string {
 	}
 }
 
+// LeafScan selects how a pair of leaves is scanned for candidate point
+// pairs (step CP3). The plane-sweep scan is the default; the brute scan is
+// kept selectable for A/B comparisons (EXPERIMENTS.md, "leaf-scan A/B").
+type LeafScan int
+
+const (
+	// LeafScanSweep sorts both leaves' entries by ascending low x
+	// coordinate and merge-walks them, evaluating only pairs whose x-gap
+	// distance is within the current pruning bound T. It evaluates a
+	// subset of the brute scan's pairs and produces the same result set.
+	// This is the default (zero value).
+	LeafScanSweep LeafScan = iota
+	// LeafScanBrute evaluates all n*m entry pairs of the two leaves — the
+	// paper's original formulation of CP3.
+	LeafScanBrute
+)
+
+// LeafScans lists the leaf scanning strategies.
+func LeafScans() []LeafScan { return []LeafScan{LeafScanSweep, LeafScanBrute} }
+
+// String implements fmt.Stringer.
+func (l LeafScan) String() string {
+	switch l {
+	case LeafScanSweep:
+		return "sweep"
+	case LeafScanBrute:
+		return "brute"
+	default:
+		return fmt.Sprintf("LeafScan(%d)", int(l))
+	}
+}
+
 // KPruning selects how the pruning bound T is tightened for K > 1, where
 // Inequality 2 (MINMAXDIST) no longer applies (Section 3.8).
 type KPruning int
@@ -180,6 +212,11 @@ type Options struct {
 	Sort sortx.Method
 	// KPrune selects the K > 1 pruning rule (default KPruneMaxMax).
 	KPrune KPruning
+	// LeafScan selects the leaf-pair scanning strategy (default
+	// LeafScanSweep). Both strategies produce the same result set; they
+	// differ only in how many point pairs are evaluated
+	// (Stats.PointPairsCompared).
+	LeafScan LeafScan
 	// Metric is the Minkowski distance metric (default Euclidean). The
 	// paper's methods adapt to any Minkowski metric (Section 2.1); all
 	// MBR bounds (MINMINDIST, MINMAXDIST, MAXMAXDIST) are computed under
@@ -240,6 +277,11 @@ func (o Options) validate() error {
 	case KPruneMaxMax, KPruneHeapTop:
 	default:
 		return fmt.Errorf("core: unknown K pruning rule %d", int(o.KPrune))
+	}
+	switch o.LeafScan {
+	case LeafScanSweep, LeafScanBrute:
+	default:
+		return fmt.Errorf("core: unknown leaf scan strategy %d", int(o.LeafScan))
 	}
 	if o.Parallelism < AutoParallelism {
 		return fmt.Errorf("core: invalid parallelism %d", o.Parallelism)

@@ -35,9 +35,17 @@ type nodePair struct {
 
 // less orders node pairs for the STD sort and the HEAP priority queue:
 // ascending MINMINDIST, with exact ties broken by the tie strategy's key.
-func (p nodePair) less(q nodePair) bool {
-	if p.minminSq != q.minminSq {
-		return p.minminSq < q.minminSq
+// The pointer receiver matters on the hot path: a nodePair is ~11 words,
+// and the sift loops compare far more often than they swap, so the fast
+// path is two float64 loads and one comparison with no struct copying (the
+// tie key is consulted only on exact MINMINDIST equality, which is rare
+// with float64 distance keys).
+func (p *nodePair) less(q *nodePair) bool {
+	if p.minminSq < q.minminSq {
+		return true
+	}
+	if p.minminSq > q.minminSq {
+		return false
 	}
 	return p.tieKey < q.tieKey
 }

@@ -84,3 +84,31 @@ func TestSTDSortOrderIsUsed(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkPairHeap measures the HEAP frontier's push/pop cycle (the sift
+// compare is the hot instruction of the sequential driver): push N pairs in
+// the traversal's characteristic pattern — children keyed at or above their
+// parent — then drain. Many equal minminSq values force the tie-key slow
+// path often enough to keep it honest.
+func BenchmarkPairHeap(b *testing.B) {
+	const n = 4096
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([]nodePair, n)
+	for i := range pairs {
+		pairs[i] = nodePair{
+			minminSq: float64(rng.Intn(n / 8)), // ~8-way ties
+			tieKey:   rng.Float64(),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		h := &pairHeap{pairs: make([]nodePair, 0, n)}
+		for i := range pairs {
+			h.push(pairs[i])
+		}
+		for h.Len() > 0 {
+			h.pop()
+		}
+	}
+}

@@ -156,7 +156,7 @@ func (s *parHeap) process(p nodePair, local *kHeap, localMin *float64) error {
 		return err
 	}
 	if na.IsLeaf() && nb.IsLeaf() {
-		if m := j.scanLeavesInto(na, nb, local); m < *localMin {
+		if m := j.scanLeavesInto(na, nb, local, s.bound.load()); m < *localMin {
 			*localMin = m
 		}
 		return nil

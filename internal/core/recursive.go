@@ -35,7 +35,7 @@ func (j *join) runRecursive(p nodePair) error {
 		// CP2 of STD: process candidates in ascending MINMINDIST order
 		// (tie strategy applied on equal distances), which shrinks T
 		// faster and prunes more of the remaining pairs.
-		sortx.Sort(subs, func(a, b nodePair) bool { return a.less(b) }, j.opts.Sort)
+		sortx.Sort(subs, func(a, b nodePair) bool { return a.less(&b) }, j.opts.Sort)
 	}
 	for _, sp := range subs {
 		// T keeps shrinking while the loop runs; runRecursive re-checks.

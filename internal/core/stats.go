@@ -29,6 +29,13 @@ type Stats struct {
 	// MaxQueueSize is the high-water mark of the HEAP algorithm's pair
 	// heap (0 for the recursive algorithms).
 	MaxQueueSize int
+	// NodeCacheHits and NodeCacheMisses are the decoded-node cache lookup
+	// deltas of both trees over the query (both zero when no cache is
+	// attached, the default). A hit serves a node without touching the
+	// buffer pool, so it appears in neither IOP nor IOQ — the counters are
+	// reported separately to keep the paper's disk-access accounting
+	// honest.
+	NodeCacheHits, NodeCacheMisses int64
 }
 
 // Accesses returns the total disk accesses of both trees — the quantity on
@@ -39,10 +46,14 @@ func (s Stats) Accesses() int64 {
 
 // String implements fmt.Stringer.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"accesses=%d (P=%d Q=%d) nodePairs=%d subPairs=%d pruned=%d pointPairs=%d maxQueue=%d",
 		s.Accesses(), s.IOP.Reads, s.IOQ.Reads, s.NodePairsProcessed,
 		s.SubPairsGenerated, s.SubPairsPruned, s.PointPairsCompared, s.MaxQueueSize)
+	if s.NodeCacheHits > 0 || s.NodeCacheMisses > 0 {
+		out += fmt.Sprintf(" nodeCache=%d/%d", s.NodeCacheHits, s.NodeCacheHits+s.NodeCacheMisses)
+	}
+	return out
 }
 
 // statsAcc accumulates the work counters of one query with atomic

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/rtree"
+)
+
+// This file implements the plane-sweep leaf scan (Options.LeafScanSweep),
+// replacing the brute all-pairs CP3 with the band technique of the planar
+// closest-pair literature. Both leaves' entries are sorted by ascending low
+// x coordinate into reusable scratch buffers and merge-walked: the entry
+// with the smaller low x becomes the anchor and scans forward through the
+// other leaf's entries, stopping at the first entry whose x gap alone puts
+// the pair beyond the pruning bound T. The gap to later entries is at least
+// as large (the lists are sorted by low x and the anchor's low x is the
+// smallest still unconsumed), so the break is safe, and every pair within T
+// is evaluated exactly once — when the first-consumed of its two entries is
+// the anchor. T = min(extBound, K-heap threshold) only ever tightens, so
+// the sweep evaluates a subset of the brute scan's pairs yet the K-heap
+// ends up with the same result set.
+
+// sweepScratch carries one leaf scan's sorted entry copies. A sync.Pool
+// keeps one scratch per P in steady state, so the parallel HEAP workers do
+// not contend on shared buffers and the per-scan allocation cost vanishes
+// after warm-up.
+type sweepScratch struct {
+	a, b entriesByMinX
+}
+
+var sweepPool = sync.Pool{New: func() any { return new(sweepScratch) }}
+
+// entriesByMinX sorts leaf entries by ascending low x coordinate. The sort
+// methods live on the pointer type so sort.Sort receives a pointer to a
+// pool-owned slice header and no per-call allocation occurs.
+type entriesByMinX []rtree.Entry
+
+func (s *entriesByMinX) fill(entries []rtree.Entry) {
+	*s = append((*s)[:0], entries...)
+}
+
+func (s *entriesByMinX) Len() int { return len(*s) }
+
+func (s *entriesByMinX) Less(i, t int) bool { return (*s)[i].Rect.Min.X < (*s)[t].Rect.Min.X }
+
+func (s *entriesByMinX) Swap(i, t int) { (*s)[i], (*s)[t] = (*s)[t], (*s)[i] }
+
+// scanLeavesSweep is the plane-sweep CP3. It evaluates only pairs whose x
+// distance is within T at the time the pair is reached, counts exactly the
+// pairs evaluated in Stats.PointPairsCompared, and returns the smallest
+// distance (squared) the heap accepted (+Inf if none), like the brute scan.
+func (j *join) scanLeavesSweep(na, nb *rtree.Node, kh *kHeap, extBound float64) float64 {
+	sc := sweepPool.Get().(*sweepScratch)
+	sc.a.fill(na.Entries)
+	sc.b.fill(nb.Entries)
+	sort.Sort(&sc.a)
+	sort.Sort(&sc.b)
+	as, bs := sc.a, sc.b
+
+	// T is re-derived from the heap whenever a pair is accepted: the sweep
+	// itself tightens the threshold it prunes with.
+	T := extBound
+	if th := kh.threshold(); th < T {
+		T = th
+	}
+	minAccepted := math.Inf(1)
+	var compared int64
+	i, t := 0, 0
+	for i < len(as) && t < len(bs) {
+		// The side with the smaller low x is the anchor; it scans forward
+		// through the other side's unconsumed entries.
+		anchorIsA := as[i].Rect.Min.X <= bs[t].Rect.Min.X
+		var anchor *rtree.Entry
+		var others []rtree.Entry
+		if anchorIsA {
+			anchor, others = &as[i], bs[t:]
+			i++
+		} else {
+			anchor, others = &bs[t], as[i:]
+			t++
+		}
+		for u := range others {
+			other := &others[u]
+			// Entries ahead of the anchor are sorted by low x, so the gap
+			// beyond the anchor's MBR grows monotonically: the first
+			// violation ends the band.
+			if gap := other.Rect.Min.X - anchor.Rect.Max.X; gap > 0 && j.metric.DistToKey(gap) > T {
+				break
+			}
+			compared++
+			d := j.metric.MinMinKey(anchor.Rect, other.Rect) // symmetric
+			if !kh.wouldAccept(d) {
+				continue
+			}
+			ea, eb := anchor, other
+			if !anchorIsA {
+				ea, eb = other, anchor
+			}
+			kh.offer(kPair{
+				distSq: d,
+				p:      [2]float64{ea.Rect.Min.X, ea.Rect.Min.Y},
+				q:      [2]float64{eb.Rect.Min.X, eb.Rect.Min.Y},
+				refP:   ea.Ref,
+				refQ:   eb.Ref,
+			})
+			if d < minAccepted {
+				minAccepted = d
+			}
+			if th := kh.threshold(); th < T {
+				T = th
+			}
+		}
+	}
+	j.stats.pointPairsCompared.Add(compared)
+	sweepPool.Put(sc)
+	return minAccepted
+}

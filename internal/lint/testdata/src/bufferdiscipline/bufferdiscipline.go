@@ -3,7 +3,10 @@
 // sequential Get stays legal.
 package bufferdiscipline
 
-import "repro/internal/storage"
+import (
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
 
 // spawnAll starts the goroutines the check traces from.
 func spawnAll(pool *storage.BufferPool) {
@@ -47,4 +50,41 @@ func sequentialGet(pool *storage.BufferPool) {
 	if _, err := pool.Get(4); err != nil {
 		panic(err)
 	}
+}
+
+// The NodeCache side of the discipline: Get/Add are the legal concurrent
+// read path (a hit bypasses BufferPool.View entirely); Invalidate and
+// Clear are reserved to the tree's single-writer mutation path.
+
+// spawnCacheUsers starts the goroutines of the node-cache cases.
+func spawnCacheUsers(cache *rtree.NodeCache) {
+	go cacheReader(cache)
+	go cacheInvalidator(cache)
+	go func() { cacheClearChain(cache) }()
+	sequentialInvalidate(cache)
+}
+
+// cacheReader hits the concurrent read path; Get and Add are legal.
+func cacheReader(cache *rtree.NodeCache) {
+	if n, ok := cache.Get(7); ok {
+		_ = n
+		return
+	}
+	cache.Add(&rtree.Node{ID: 7})
+}
+
+// cacheInvalidator mutates the cache from a goroutine; a violation.
+func cacheInvalidator(cache *rtree.NodeCache) {
+	cache.Invalidate(8)
+}
+
+// cacheClearChain reaches Clear transitively; a violation.
+func cacheClearChain(cache *rtree.NodeCache) {
+	cache.Clear()
+}
+
+// sequentialInvalidate is never spawned, so it stays on the legal
+// single-writer mutation path.
+func sequentialInvalidate(cache *rtree.NodeCache) {
+	cache.Invalidate(9)
 }

@@ -83,7 +83,9 @@ type deleteCtx struct {
 // deleteAt removes (r, ref) from the subtree rooted at page id. It returns
 // whether the entry was found and the node's resulting MBR.
 func (t *Tree) deleteAt(id storage.PageID, level int, r geom.Rect, ref int64, ctx *deleteCtx) (bool, geom.Rect, error) {
-	n, err := t.ReadNode(id)
+	// readNodeMut, not ReadNode: n is edited in place below and must never
+	// be a shared node-cache decode.
+	n, err := t.readNodeMut(id)
 	if err != nil {
 		return false, geom.Rect{}, err
 	}

@@ -93,7 +93,9 @@ func (t *Tree) insertEntry(e Entry, targetLevel int, ctx *insertCtx) error {
 // treatment. It returns the node's resulting MBR and, if the node was
 // split, the entry describing its new sibling.
 func (t *Tree) insertAt(id storage.PageID, level int, e Entry, targetLevel int, ctx *insertCtx) (geom.Rect, *Entry, error) {
-	n, err := t.ReadNode(id)
+	// readNodeMut, not ReadNode: n is edited in place below and must never
+	// be a shared node-cache decode.
+	n, err := t.readNodeMut(id)
 	if err != nil {
 		return geom.Rect{}, nil, err
 	}

@@ -94,6 +94,12 @@ type Tree struct {
 	freeHead storage.PageID
 
 	scratch []byte // page-size encode buffer
+
+	// cache, when non-nil, is the decoded-node cache consulted by ReadNode
+	// (see NodeCache for the consistency contract). nil by default: the
+	// cache changes which reads reach the buffer pool, so the paper's
+	// disk-access experiments leave it off.
+	cache *NodeCache
 }
 
 // ErrNotFound is returned by operations that reference a missing record.
@@ -225,12 +231,59 @@ func (t *Tree) Bounds() (geom.Rect, error) {
 	return root.MBR(), nil
 }
 
-// ReadNode fetches and decodes the node stored at page id. Each call goes
-// through the buffer pool and therefore counts as a page access on a miss.
-// Decoding happens under the pool's shard lock (BufferPool.View), so
-// ReadNode is safe for concurrent readers: the decoded Node owns its
-// entries and never aliases the pooled page buffer.
+// SetNodeCache attaches (or, with nil, detaches) a decoded-node cache that
+// ReadNode consults before the buffer pool. The cache must not be shared
+// between trees. Attaching clears the cache so it cannot serve nodes from
+// a previous attachment.
+func (t *Tree) SetNodeCache(c *NodeCache) {
+	if c != nil {
+		c.Clear()
+	}
+	t.cache = c
+}
+
+// NodeCache returns the attached decoded-node cache, nil when none is.
+func (t *Tree) NodeCache() *NodeCache { return t.cache }
+
+// NodeCacheStats snapshots the attached cache's hit/miss counters (zero
+// when no cache is attached).
+func (t *Tree) NodeCacheStats() CacheStats {
+	if t.cache == nil {
+		return CacheStats{}
+	}
+	return t.cache.Stats()
+}
+
+// ReadNode fetches and decodes the node stored at page id. With a node
+// cache attached a hit returns the already-decoded node and touches no
+// page at all; otherwise each call goes through the buffer pool and
+// therefore counts as a page access on a miss. Decoding happens under the
+// pool's shard lock (BufferPool.View), so ReadNode is safe for concurrent
+// readers: the decoded Node owns its entries, never aliases the pooled
+// page buffer, and is treated as immutable by every read path (the
+// mutating paths use readNodeMut).
 func (t *Tree) ReadNode(id storage.PageID) (*Node, error) {
+	c := t.cache
+	if c != nil {
+		if n, ok := c.Get(id); ok {
+			return n, nil
+		}
+	}
+	n, err := t.readNodeMut(id)
+	if err != nil {
+		return nil, err
+	}
+	if c != nil {
+		c.Add(n)
+	}
+	return n, nil
+}
+
+// readNodeMut fetches and decodes a private copy of the node stored at
+// page id, bypassing the node cache in both directions. The mutating paths
+// (insert, delete, reinsertion) use it so in-place edits never touch a
+// cached — and therefore shared and immutable — node.
+func (t *Tree) readNodeMut(id storage.PageID) (*Node, error) {
 	var n *Node
 	err := t.pool.View(id, func(buf []byte) error {
 		var derr error
@@ -243,12 +296,19 @@ func (t *Tree) ReadNode(id storage.PageID) (*Node, error) {
 	return n, nil
 }
 
-// writeNode encodes and stores a node at its page.
+// writeNode encodes and stores a node at its page, invalidating any cached
+// decode of the page.
 func (t *Tree) writeNode(n *Node) error {
 	if err := encodeNode(n, t.scratch); err != nil {
 		return err
 	}
-	return t.pool.Write(n.ID, t.scratch)
+	if err := t.pool.Write(n.ID, t.scratch); err != nil {
+		return err
+	}
+	if t.cache != nil {
+		t.cache.Invalidate(n.ID)
+	}
+	return nil
 }
 
 // Free-page layout: magic "Fr" at offset 0, next free page id at offset 8.
@@ -290,6 +350,9 @@ func (t *Tree) freeNode(id storage.PageID) error {
 	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(t.freeHead)))
 	if err := t.pool.Write(id, buf); err != nil {
 		return err
+	}
+	if t.cache != nil {
+		t.cache.Invalidate(id)
 	}
 	t.freeHead = id
 	return nil

@@ -70,6 +70,16 @@ const (
 	BubbleSort    = sortx.Bubble
 )
 
+// LeafScan selects how leaf pairs are scanned for candidate point pairs.
+type LeafScan = core.LeafScan
+
+// Leaf scanning strategies; the plane-sweep scan is the default and the
+// brute scan reproduces the paper's original all-pairs CP3.
+const (
+	LeafScanSweep = core.LeafScanSweep
+	LeafScanBrute = core.LeafScanBrute
+)
+
 // KPruning selects the K>1 pruning bound (paper Section 3.8).
 type KPruning = core.KPruning
 
@@ -124,6 +134,15 @@ func WithSortMethod(m SortMethod) QueryOption {
 // WithKPruning selects the K>1 pruning rule (default KPruneMaxMax).
 func WithKPruning(k KPruning) QueryOption {
 	return func(o *core.Options) { o.KPrune = k }
+}
+
+// WithLeafScan selects the leaf-pair scanning strategy (default
+// LeafScanSweep). Both strategies produce the same result set; LeafScanBrute
+// evaluates all entry pairs of two leaves (the paper's CP3) while
+// LeafScanSweep plane-sweeps them and skips pairs whose x distance already
+// exceeds the pruning bound, which shows up in Stats.PointPairsCompared.
+func WithLeafScan(l LeafScan) QueryOption {
+	return func(o *core.Options) { o.LeafScan = l }
 }
 
 // WithMetric selects the distance metric (default Euclidean).
