@@ -18,6 +18,11 @@
 #                      fails if the plane-sweep leaf scan evaluates
 #                      more point pairs than the brute scan; writes
 #                      BENCH_PR4.json
+#   ./ci.sh obs        the observability gates: the zero-alloc tests on
+#                      the disabled hook paths, the obs registry under
+#                      the race detector, and a Prometheus-exposition
+#                      parse smoke test (the fuzz target over its seed
+#                      corpus)
 set -eu
 
 lint() {
@@ -30,7 +35,7 @@ lint() {
 # (an empty corpus dir makes `go test` pass while fuzzing nothing).
 lint_self() {
 	go run ./cmd/cpqlint internal/lint internal/lint/ssa
-	for corpus in internal/rtree/testdata/fuzz internal/geom/testdata/fuzz; do
+	for corpus in internal/rtree/testdata/fuzz internal/geom/testdata/fuzz internal/obs/testdata/fuzz; do
 		if [ -z "$(ls "$corpus" 2>/dev/null)" ]; then
 			echo "fuzz seed corpus missing or empty: $corpus" >&2
 			exit 1
@@ -50,6 +55,17 @@ bench() {
 	go run ./cmd/cpqbench -experiment leafscan -pr4 BENCH_PR4.json
 }
 
+# obs gates the observability layer: hooks must stay free when disabled
+# (the AllocsPerRun tests), the registry must be safe under concurrent
+# writers and scrapers (-race), and the Prometheus text exposition must
+# parse (the fuzz target replayed over its committed seed corpus).
+obs() {
+	go test -race ./internal/obs
+	go test -run 'TestDisabledHooksZeroAlloc' ./internal/core
+	go test -run 'TestCacheTraceDisabledZeroAlloc' ./internal/rtree
+	go test -run 'FuzzMetricsExposition' ./internal/obs
+}
+
 all() {
 	unformatted=$(gofmt -l .)
 	if [ -n "$unformatted" ]; then
@@ -60,6 +76,7 @@ all() {
 	go build ./...
 	lint
 	lint_self
+	obs
 	go test ./...
 	go test -race ./...
 }
@@ -70,8 +87,9 @@ all) all ;;
 lint) lint ;;
 lint-self) lint_self ;;
 bench) bench ;;
+obs) obs ;;
 *)
-	echo "usage: $0 [all|lint|lint-self|bench]" >&2
+	echo "usage: $0 [all|lint|lint-self|bench|obs]" >&2
 	exit 2
 	;;
 esac

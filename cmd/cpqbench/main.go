@@ -12,6 +12,9 @@
 //	cpqbench -leafscan brute       # force a leaf scan strategy on every run
 //	cpqbench -nodecache 4096       # attach a decoded-node cache to every tree
 //	cpqbench -pr4 BENCH_PR4.json   # run the leafscan ablation, write its report
+//	cpqbench -trace trace.jsonl    # write every query's trace events as JSON lines
+//	cpqbench -metrics-addr :9090   # serve /metrics (Prometheus text) and /debug/vars
+//	cpqbench -pprof                # with -metrics-addr, also mount /debug/pprof/
 //	cpqbench -json                 # one JSON summary object per experiment
 //	cpqbench -list                 # list experiments
 //	cpqbench -out results.txt      # also write output to a file
@@ -22,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -29,6 +33,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // summary is the -json record emitted per experiment: wall time plus the
@@ -50,6 +55,9 @@ func main() {
 		leafScan   = flag.String("leafscan", "", "force a leaf scan strategy on every run: sweep or brute (default: per-experiment choice)")
 		nodeCache  = flag.Int("nodecache", 0, "decoded-node cache capacity (nodes per tree) attached to experiment trees; 0 = no cache (the paper's exact disk accounting)")
 		pr4        = flag.String("pr4", "", "run the leafscan ablation and write its JSON report to this file")
+		traceFile  = flag.String("trace", "", "write every query's trace events to this file as JSON lines")
+		metricsAt  = flag.String("metrics-addr", "", "serve engine metrics on this address (/metrics Prometheus text, /debug/vars expvar)")
+		pprofOn    = flag.Bool("pprof", false, "with -metrics-addr, also mount net/http/pprof under /debug/pprof/")
 		jsonOut    = flag.Bool("json", false, "emit one JSON summary per experiment on stdout (tables go only to -out)")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		out        = flag.String("out", "", "also write the report to this file")
@@ -82,6 +90,36 @@ func main() {
 	}
 	if *nodeCache > 0 {
 		bench.SetDefaultNodeCache(*nodeCache)
+	}
+
+	var tracer *obs.JSONLWriter
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tracer = obs.NewJSONLWriter(f)
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpqbench: trace:", err)
+			}
+		}()
+		bench.SetDefaultTracer(tracer)
+	}
+	if *metricsAt != "" {
+		reg := obs.Default()
+		bench.SetDefaultMetrics(obs.NewEngineMetrics(reg))
+		reg.PublishExpvar("cpq")
+		mux := obs.NewServeMux(reg, *pprofOn)
+		go func() {
+			if err := http.ListenAndServe(*metricsAt, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "cpqbench: metrics server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "cpqbench: serving metrics on %s/metrics\n", *metricsAt)
+	} else if *pprofOn {
+		fatal(fmt.Errorf("-pprof requires -metrics-addr"))
 	}
 
 	s := *scale

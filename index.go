@@ -323,6 +323,15 @@ func (i *Index) IOStats() IOStats { return i.pool.Stats() }
 // the last reset (zero when WithNodeCache was not used).
 func (i *Index) NodeCacheStats() NodeCacheStats { return i.tree.NodeCacheStats() }
 
+// SetTracer attaches a tracer to the index's storage layers: the decoded-
+// node cache reports cache_hit/cache_miss events and the buffer pool
+// reports pool_evict events. Set it before issuing queries and do not
+// change it while queries run. A nil tracer (the default) costs nothing.
+func (i *Index) SetTracer(tr Tracer) {
+	i.tree.SetTracer(tr)
+	i.pool.SetTracer(tr)
+}
+
 // CheckInvariants validates the underlying tree structure (testing and
 // tooling aid).
 func (i *Index) CheckInvariants() error { return i.tree.CheckInvariants() }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/incremental"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 	"repro/internal/storage"
 )
@@ -211,13 +212,44 @@ var defaultNodeCache atomic.Int64
 // afterwards (0 disables).
 func SetDefaultNodeCache(nodes int) { defaultNodeCache.Store(int64(nodes)) }
 
-// attachDefaultNodeCache attaches a cache to a freshly built tree when the
-// default capacity is set.
+// attachDefaultNodeCache attaches the default node cache and tracer (when
+// set) to a freshly built tree.
 func attachDefaultNodeCache(t *rtree.Tree) {
 	if n := defaultNodeCache.Load(); n > 0 {
 		t.SetNodeCache(rtree.NewNodeCache(int(n), 16))
 	}
+	if b := defaultTracer.Load(); b != nil {
+		t.SetTracer(b.tr)
+		t.Pool().SetTracer(b.tr)
+	}
 }
+
+// defaultTracer, when set, is attached to every RunCore query and to every
+// tree built afterwards (cache/evict events): cpqbench -trace plumbs
+// through here so all experiments of a run land in one JSONL stream.
+// Boxed because atomic.Value needs a consistent concrete type.
+type tracerBox struct{ tr obs.Tracer }
+
+var defaultTracer atomic.Pointer[tracerBox]
+
+// SetDefaultTracer attaches tr to experiments run afterwards (nil
+// restores the free no-tracer default). Trees already built keep their
+// previous tracer.
+func SetDefaultTracer(tr obs.Tracer) {
+	if tr == nil {
+		defaultTracer.Store(nil)
+		return
+	}
+	defaultTracer.Store(&tracerBox{tr: tr})
+}
+
+// defaultMetrics, when set, receives every RunCore query's cost report:
+// cpqbench -metrics-addr plumbs through here.
+var defaultMetrics atomic.Pointer[obs.EngineMetrics]
+
+// SetDefaultMetrics routes the cost of experiments run afterwards into em
+// (nil disables).
+func SetDefaultMetrics(em *obs.EngineMetrics) { defaultMetrics.Store(em) }
 
 // init wires the env knobs used by `ci.sh bench` to re-run the Go
 // benchmarks under the pre-optimisation configuration
@@ -240,13 +272,17 @@ func init() {
 // Totals aggregates the cost of every RunCore / RunIncremental call since
 // the last ResetTotals. cpqbench's -json mode snapshots it per experiment.
 type Totals struct {
-	Queries    int64 `json:"queries"`
-	Accesses   int64 `json:"accesses"`
-	NodePairs  int64 `json:"node_pairs"`
-	PointPairs int64 `json:"point_pairs"`
+	Queries         int64   `json:"queries"`
+	Accesses        int64   `json:"accesses"`
+	NodePairs       int64   `json:"node_pairs"`
+	PointPairs      int64   `json:"point_pairs"`
+	NodeCacheHits   int64   `json:"node_cache_hits"`
+	NodeCacheMisses int64   `json:"node_cache_misses"`
+	NodeCacheRatio  float64 `json:"node_cache_hit_ratio"`
 }
 
 var totQueries, totAccesses, totNodePairs, totPointPairs atomic.Int64
+var totCacheHits, totCacheMisses atomic.Int64
 
 // ResetTotals zeroes the aggregate counters.
 func ResetTotals() {
@@ -254,16 +290,24 @@ func ResetTotals() {
 	totAccesses.Store(0)
 	totNodePairs.Store(0)
 	totPointPairs.Store(0)
+	totCacheHits.Store(0)
+	totCacheMisses.Store(0)
 }
 
 // CurrentTotals snapshots the aggregate counters.
 func CurrentTotals() Totals {
-	return Totals{
-		Queries:    totQueries.Load(),
-		Accesses:   totAccesses.Load(),
-		NodePairs:  totNodePairs.Load(),
-		PointPairs: totPointPairs.Load(),
+	t := Totals{
+		Queries:         totQueries.Load(),
+		Accesses:        totAccesses.Load(),
+		NodePairs:       totNodePairs.Load(),
+		PointPairs:      totPointPairs.Load(),
+		NodeCacheHits:   totCacheHits.Load(),
+		NodeCacheMisses: totCacheMisses.Load(),
 	}
+	if lookups := t.NodeCacheHits + t.NodeCacheMisses; lookups > 0 {
+		t.NodeCacheRatio = float64(t.NodeCacheHits) / float64(lookups)
+	}
+	return t
 }
 
 // RunCore executes one K-CPQ with one of the paper's algorithms under the
@@ -276,12 +320,22 @@ func RunCore(ta, tb *rtree.Tree, k int, opts core.Options, bufferPages int) (cor
 	if l := defaultLeafScan.Load(); l > 0 {
 		opts.LeafScan = core.LeafScan(l - 1)
 	}
+	if opts.Tracer == nil {
+		if b := defaultTracer.Load(); b != nil {
+			opts.Tracer = b.tr
+		}
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = defaultMetrics.Load()
+	}
 	_, stats, err := core.KClosestPairs(ta, tb, k, opts)
 	if err == nil {
 		totQueries.Add(1)
 		totAccesses.Add(stats.Accesses())
 		totNodePairs.Add(stats.NodePairsProcessed)
 		totPointPairs.Add(stats.PointPairsCompared)
+		totCacheHits.Add(stats.NodeCacheHits)
+		totCacheMisses.Add(stats.NodeCacheMisses)
 	}
 	return stats, err
 }

@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rtree"
 )
 
@@ -30,24 +32,46 @@ func KClosestPairs(ta, tb *rtree.Tree, k int, opts Options) ([]Pair, Stats, erro
 		return nil, Stats{}, ErrEmptyInput
 	}
 
+	// Observability setup: the label and start time are only computed when
+	// a consumer is attached, so the default query path takes no
+	// timestamps and formats nothing.
+	measure := opts.Metrics != nil || opts.SlowLog != nil
+	var label string
+	if opts.Tracer != nil || measure {
+		label = queryLabel(opts, k)
+	}
+	if opts.Tracer != nil {
+		j.span = obs.StartSpan(opts.Tracer, label)
+	}
+	var started time.Time
+	if measure {
+		started = time.Now()
+	}
+
 	startA := ta.Pool().Stats()
 	startB := tb.Pool().Stats()
 	startCA := ta.NodeCacheStats()
 	startCB := tb.NodeCacheStats()
 
 	root, err := j.rootPair()
-	if err != nil {
-		return nil, Stats{}, err
+	if err == nil {
+		switch {
+		case opts.Algorithm == Heap && opts.workers() > 1:
+			err = j.runHeapParallel(root, opts.workers())
+		case opts.Algorithm == Heap:
+			err = j.runHeap(root)
+		default:
+			err = j.runRecursive(root)
+		}
 	}
-	switch {
-	case opts.Algorithm == Heap && opts.workers() > 1:
-		err = j.runHeapParallel(root, opts.workers())
-	case opts.Algorithm == Heap:
-		err = j.runHeap(root)
-	default:
-		err = j.runRecursive(root)
-	}
 	if err != nil {
+		j.traceQueryEnd(0, err)
+		if measure {
+			r := obs.QueryReport{Label: label, Seconds: time.Since(started).Seconds(),
+				Workers: opts.workers(), Err: err.Error()}
+			opts.Metrics.Record(r)
+			opts.SlowLog.Record(r)
+		}
 		return nil, Stats{}, err
 	}
 
@@ -64,7 +88,36 @@ func KClosestPairs(ta, tb *rtree.Tree, k int, opts Options) ([]Pair, Stats, erro
 		stats.NodeCacheHits += cb.Hits
 		stats.NodeCacheMisses += cb.Misses
 	}
-	return j.results(), stats, nil
+	pairs := j.results()
+	j.traceQueryEnd(len(pairs), nil)
+	if measure {
+		r := obs.QueryReport{
+			Label:       label,
+			Seconds:     time.Since(started).Seconds(),
+			Accesses:    stats.Accesses(),
+			NodePairs:   stats.NodePairsProcessed,
+			PointPairs:  stats.PointPairsCompared,
+			CacheHits:   stats.NodeCacheHits,
+			CacheMisses: stats.NodeCacheMisses,
+			Results:     len(pairs),
+			Workers:     opts.workers(),
+		}
+		if len(pairs) > 0 {
+			r.KthDistance = pairs[len(pairs)-1].Dist
+		}
+		opts.Metrics.Record(r)
+		opts.SlowLog.Record(r)
+	}
+	return pairs, stats, nil
+}
+
+// queryLabel renders the query description used as the span label and the
+// metrics/slow-log aggregation key.
+func queryLabel(opts Options, k int) string {
+	if w := opts.workers(); w > 1 {
+		return fmt.Sprintf("%s k=%d par=%d", opts.Algorithm, k, w)
+	}
+	return fmt.Sprintf("%s k=%d", opts.Algorithm, k)
 }
 
 // ClosestPair finds the single closest pair (the 1-CPQ of Section 2.1),

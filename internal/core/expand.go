@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 )
 
@@ -21,6 +22,13 @@ type join struct {
 	// the parallel HEAP engine folds both sources into one atomic bound.
 	bound float64
 	stats statsAcc
+
+	// span is the query's trace span, nil when tracing is disabled. lastT
+	// is the last effective bound T the span saw, used by the sequential
+	// algorithms to emit EvBoundTightened only on strict decreases (the
+	// parallel engine traces CAS successes instead; see trace.go).
+	span  *obs.Span
+	lastT float64
 
 	rootAreaA, rootAreaB float64
 	useTie               bool
@@ -39,6 +47,7 @@ func newJoin(ta, tb *rtree.Tree, k int, opts Options) (*join, error) {
 		k:      k,
 		kheap:  newKHeap(k),
 		bound:  math.Inf(1),
+		lastT:  math.Inf(1),
 		mA:     float64(ta.Config().MinEntries),
 		mB:     float64(tb.Config().MinEntries),
 		metric: opts.Metric,
@@ -139,6 +148,7 @@ func (j *join) expand(p nodePair, na, nb *rtree.Node) []nodePair {
 	if j.tightens() {
 		if b := j.boundCandidate(subs, mode, na, nb); b < j.bound {
 			j.bound = b
+			j.traceBound(j.boundSource())
 		}
 	}
 	return subs
@@ -312,6 +322,7 @@ func (j *join) readPair(p nodePair) (na, nb *rtree.Node, err error) {
 		return nil, nil, err
 	}
 	j.stats.nodePairsProcessed.Add(1)
+	j.traceNodeExpanded(p)
 	return na, nb, nil
 }
 

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/obs"
+
 // pairHeap is the main structure of the Heap algorithm (Section 3.5): a
 // binary min-heap of node pairs ordered by ascending MINMINDIST, with the
 // tie strategy's key as a secondary criterion. Unlike the priority queue
@@ -64,7 +66,9 @@ func (j *join) runHeap(root nodePair) error {
 		h.push(root)
 	}
 	for h.Len() > 0 {
-		j.stats.observeQueueLen(h.Len())
+		if j.stats.observeQueueLen(h.Len()) {
+			j.traceHighWater(h.Len())
+		}
 		p := h.pop()
 		if p.minminSq > j.T() {
 			// CP5: the heap is ordered, so no queued pair can qualify.
@@ -76,6 +80,7 @@ func (j *join) runHeap(root nodePair) error {
 		}
 		if na.IsLeaf() && nb.IsLeaf() {
 			j.scanLeaves(na, nb)
+			j.traceBound(obs.SourceKHeap)
 			continue
 		}
 		subs := j.expand(p, na, nb) // also tightens T

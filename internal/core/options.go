@@ -12,6 +12,7 @@ import (
 	"runtime"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/sortx"
 )
 
@@ -222,6 +223,19 @@ type Options struct {
 	// MBR bounds (MINMINDIST, MINMAXDIST, MAXMAXDIST) are computed under
 	// the same metric, preserving every pruning argument.
 	Metric geom.Metric
+	// Tracer, when non-nil, receives a per-query span of typed events
+	// (node expansions, bound tightenings, heap high-water marks, worker
+	// steals; see the obs event taxonomy). nil — the default — disables
+	// tracing entirely: every emission site sits behind one nil check and
+	// allocates nothing.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives one cost record per completed query
+	// (latency, accesses, K-th distance, cache counters). Recording
+	// happens at query completion only, never inside the traversal.
+	Metrics *obs.EngineMetrics
+	// SlowLog, when non-nil, aggregates per-query cost reports and writes
+	// queries slower than its threshold as JSON lines.
+	SlowLog *obs.SlowQueryLog
 	// Parallelism is the number of worker goroutines for the HEAP
 	// algorithm. 0 and 1 run the paper's sequential algorithm (the zero
 	// value keeps every existing call byte-identical, including disk

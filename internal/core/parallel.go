@@ -4,6 +4,9 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // This file implements the parallel execution mode of the HEAP algorithm
@@ -58,6 +61,11 @@ type parHeap struct {
 	frontier pairHeap
 	busy     int
 	err      error
+
+	// timed enables per-batch busy-time accounting (only when the query
+	// records metrics; the disabled path takes no timestamps at all).
+	timed     bool
+	busyNanos atomic.Int64
 }
 
 // atomicMinFloat64 is a float64 that can only decrease, stored as ordered
@@ -73,15 +81,18 @@ func (a *atomicMinFloat64) store(v float64) { a.bits.Store(math.Float64bits(v)) 
 func (a *atomicMinFloat64) load() float64 { return math.Float64frombits(a.bits.Load()) }
 
 // tighten lowers the value to v if v is smaller (CAS loop; lost races just
-// retry against the new, smaller value).
-func (a *atomicMinFloat64) tighten(v float64) {
+// retry against the new, smaller value). It returns the displaced value
+// and whether v actually replaced it — the trace layer turns successful
+// tightenings into EvBoundTightened events.
+func (a *atomicMinFloat64) tighten(v float64) (old float64, ok bool) {
 	for {
-		old := a.bits.Load()
-		if v >= math.Float64frombits(old) {
-			return
+		bits := a.bits.Load()
+		old = math.Float64frombits(bits)
+		if v >= old {
+			return old, false
 		}
-		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
-			return
+		if a.bits.CompareAndSwap(bits, math.Float64bits(v)) {
+			return old, true
 		}
 	}
 }
@@ -91,22 +102,34 @@ func (a *atomicMinFloat64) tighten(v float64) {
 // shared atomic counters of j.stats; j.bound and the sequential T() are
 // not used.
 func (j *join) runHeapParallel(root nodePair, workers int) error {
-	s := &parHeap{j: j}
+	s := &parHeap{j: j, timed: j.opts.Metrics != nil}
 	s.cond.L = &s.mu
 	s.bound.store(math.Inf(1))
 	if root.minminSq <= s.bound.load() {
 		s.frontier.push(root)
 		s.j.stats.observeQueueLen(s.frontier.Len())
 	}
+	var wallStart time.Time
+	if s.timed {
+		wallStart = time.Now()
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(id int32) {
 			defer wg.Done()
-			s.work()
-		}()
+			s.work(id)
+		}(int32(i))
 	}
 	wg.Wait()
+	if s.timed {
+		if wall := time.Since(wallStart).Seconds(); wall > 0 {
+			util := float64(s.busyNanos.Load()) / 1e9 / (wall * float64(workers))
+			if j.opts.Metrics != nil {
+				j.opts.Metrics.WorkerUtilization.Observe(util)
+			}
+		}
+	}
 	s.mu.Lock()
 	err := s.err
 	s.mu.Unlock()
@@ -115,7 +138,7 @@ func (j *join) runHeapParallel(root nodePair, workers int) error {
 
 // work is one worker's loop: claim a batch of frontier pairs, process
 // them, merge local results when they can improve the global answer.
-func (s *parHeap) work() {
+func (s *parHeap) work(id int32) {
 	local := newKHeap(s.j.k)
 	localMin := math.Inf(1) // best accepted distance since the last merge
 	batch := make([]nodePair, 0, parBatch)
@@ -123,6 +146,11 @@ func (s *parHeap) work() {
 		batch = s.take(batch[:0])
 		if len(batch) == 0 {
 			break
+		}
+		s.j.traceWorkerSteal(id, len(batch))
+		var t0 time.Time
+		if s.timed {
+			t0 = time.Now()
 		}
 		for _, p := range batch {
 			// T may have tightened since the pair was queued.
@@ -139,6 +167,9 @@ func (s *parHeap) work() {
 			// published bound (or the bound is still +Inf): publish.
 			s.merge(local)
 			localMin = math.Inf(1)
+		}
+		if s.timed {
+			s.busyNanos.Add(time.Since(t0).Nanoseconds())
 		}
 		s.release()
 	}
@@ -164,7 +195,9 @@ func (s *parHeap) process(p nodePair, local *kHeap, localMin *float64) error {
 	subs, mode := j.computeSubs(p, na, nb)
 	if j.tightens() {
 		if b := j.boundCandidate(subs, mode, na, nb); !math.IsInf(b, 1) {
-			s.bound.tighten(b)
+			if old, ok := s.bound.tighten(b); ok {
+				j.traceBoundValue(old, b, j.boundSource())
+			}
 		}
 	}
 	T := s.bound.load()
@@ -229,11 +262,17 @@ func (s *parHeap) take(dst []nodePair) []nodePair {
 // workers.
 func (s *parHeap) push(pairs []nodePair) {
 	s.mu.Lock()
+	n := 0
 	for _, sp := range pairs {
 		s.frontier.push(sp)
 	}
-	s.j.stats.observeQueueLen(s.frontier.Len())
+	if s.j.stats.observeQueueLen(s.frontier.Len()) {
+		n = s.frontier.Len()
+	}
 	s.mu.Unlock()
+	if n > 0 {
+		s.j.traceHighWater(n)
+	}
 	s.cond.Broadcast()
 }
 
@@ -270,7 +309,10 @@ func (s *parHeap) merge(local *kHeap) {
 		s.j.kheap.offer(local.pairs[i])
 	}
 	if s.j.kheap.full() {
-		s.bound.tighten(s.j.kheap.threshold())
+		th := s.j.kheap.threshold()
+		if old, ok := s.bound.tighten(th); ok {
+			s.j.traceBoundValue(old, th, obs.SourceMerge)
+		}
 	}
 	s.gmu.Unlock()
 	local.reset()

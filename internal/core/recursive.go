@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/sortx"
+import (
+	"repro/internal/obs"
+	"repro/internal/sortx"
+)
 
 // runRecursive drives the four recursive algorithms (Naive, EXH, SIM, STD)
 // from the given node pair.
@@ -15,6 +18,7 @@ func (j *join) runRecursive(p nodePair) error {
 	}
 	if na.IsLeaf() && nb.IsLeaf() {
 		j.scanLeaves(na, nb)
+		j.traceBound(obs.SourceKHeap)
 		return nil
 	}
 	subs := j.expand(p, na, nb) // also tightens T for SIM and STD

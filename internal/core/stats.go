@@ -51,9 +51,20 @@ func (s Stats) String() string {
 		s.Accesses(), s.IOP.Reads, s.IOQ.Reads, s.NodePairsProcessed,
 		s.SubPairsGenerated, s.SubPairsPruned, s.PointPairsCompared, s.MaxQueueSize)
 	if s.NodeCacheHits > 0 || s.NodeCacheMisses > 0 {
-		out += fmt.Sprintf(" nodeCache=%d/%d", s.NodeCacheHits, s.NodeCacheHits+s.NodeCacheMisses)
+		out += fmt.Sprintf(" nodeCache=%d/%d hitRatio=%.3f",
+			s.NodeCacheHits, s.NodeCacheHits+s.NodeCacheMisses, s.NodeCacheHitRatio())
 	}
 	return out
+}
+
+// NodeCacheHitRatio returns hits / lookups of the decoded-node cache over
+// the query, 0 when no cache was attached.
+func (s Stats) NodeCacheHitRatio() float64 {
+	lookups := s.NodeCacheHits + s.NodeCacheMisses
+	if lookups == 0 {
+		return 0
+	}
+	return float64(s.NodeCacheHits) / float64(lookups)
 }
 
 // statsAcc accumulates the work counters of one query with atomic
@@ -68,13 +79,17 @@ type statsAcc struct {
 	maxQueueSize       atomic.Int64
 }
 
-// observeQueueLen raises the queue high-water mark (CAS max-update).
-func (a *statsAcc) observeQueueLen(n int) {
+// observeQueueLen raises the queue high-water mark (CAS max-update) and
+// reports whether n set a new mark — the signal behind EvHeapHighWater.
+func (a *statsAcc) observeQueueLen(n int) bool {
 	v := int64(n)
 	for {
 		cur := a.maxQueueSize.Load()
-		if v <= cur || a.maxQueueSize.CompareAndSwap(cur, v) {
-			return
+		if v <= cur {
+			return false
+		}
+		if a.maxQueueSize.CompareAndSwap(cur, v) {
+			return true
 		}
 	}
 }

@@ -114,6 +114,7 @@ func (j *join) scanLeavesSweep(na, nb *rtree.Node, kh *kHeap, extBound float64) 
 		}
 	}
 	j.stats.pointPairsCompared.Add(compared)
+	j.traceSweepPruned(int64(len(na.Entries)*len(nb.Entries)) - compared)
 	sweepPool.Put(sc)
 	return minAccepted
 }

@@ -16,6 +16,10 @@
 //     preserved by squaring, so comparisons never need the root).
 //   - errprop: errors returned by the storage and R-tree I/O layers must
 //     not be discarded with `_ =` or a bare call.
+//   - obshooks: tracer and metric emissions in the hot-path packages must
+//     sit behind an explicit nil guard (a leading `if x == nil { return }`
+//     helper or an enclosing `if x != nil` block), keeping the disabled
+//     observability path at zero cost.
 //
 // Four further checks are path-sensitive: they run over the SSA-lite IR
 // of package repro/internal/lint/ssa (basic blocks, dominators, reaching
@@ -89,6 +93,7 @@ func Checks() []Check {
 		NewLockOrder(),
 		NewBoundMono(),
 		NewDeferInLoop(),
+		NewObsHooks(),
 	}
 }
 

@@ -53,6 +53,7 @@ func TestGolden(t *testing.T) {
 		{lint.NewLockOrder(), []string{"internal/lint/testdata/src/lockorder/internal/core/pool"}},
 		{lint.NewBoundMono(), []string{"internal/lint/testdata/src/boundmono/internal/core/engine"}},
 		{lint.NewDeferInLoop(), []string{"internal/lint/testdata/src/deferinloop/internal/rtree/walk"}},
+		{lint.NewObsHooks(), []string{"internal/lint/testdata/src/obshooks/internal/core/trace"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check.Name(), func(t *testing.T) {
@@ -95,6 +96,7 @@ func TestFixturesFindSomething(t *testing.T) {
 		{lint.NewLockOrder(), []string{"internal/lint/testdata/src/lockorder/internal/core/pool"}},
 		{lint.NewBoundMono(), []string{"internal/lint/testdata/src/boundmono/internal/core/engine"}},
 		{lint.NewDeferInLoop(), []string{"internal/lint/testdata/src/deferinloop/internal/rtree/walk"}},
+		{lint.NewObsHooks(), []string{"internal/lint/testdata/src/obshooks/internal/core/trace"}},
 	}
 	for _, tc := range cases {
 		found := false

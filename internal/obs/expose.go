@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the exposition side of the registry: the Prometheus text
+// format (version 0.0.4), an http.Handler serving it, expvar publication,
+// and the optional net/http/pprof mounting — everything cpqbench's
+// -metrics-addr/-pprof flags serve.
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format: a # HELP and # TYPE comment per metric, then the
+// sample lines. Metric and label names were sanitized at registration;
+// label values and help text are escaped here, so any registered identity
+// encodes to parseable lines (FuzzMetricsExposition pins this).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, mt := range m.snapshot() {
+		d := mt.describe()
+		if d.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", d.name, escapeHelp(d.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", d.name, mt.kind())
+		switch v := mt.(type) {
+		case *Counter:
+			writeSample(bw, d.name, d.labels, "", "", float64(v.Value()))
+		case *Gauge:
+			writeSample(bw, d.name, d.labels, "", "", v.Value())
+		case *Histogram:
+			cum := int64(0)
+			for i, bound := range v.bounds {
+				cum += v.counts[i].Load()
+				writeSample(bw, d.name+"_bucket", d.labels, "le", formatFloat(bound), float64(cum))
+			}
+			cum += v.counts[len(v.bounds)].Load()
+			writeSample(bw, d.name+"_bucket", d.labels, "le", "+Inf", float64(cum))
+			writeSample(bw, d.name+"_sum", d.labels, "", "", v.Sum())
+			writeSample(bw, d.name+"_count", d.labels, "", "", float64(v.Count()))
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample writes one sample line: name{labels,extraKey="extraVal"} value.
+func writeSample(w *bufio.Writer, name string, labels []Label, extraKey, extraVal string, value float64) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		w.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				w.WriteByte(',')
+			}
+			first = false
+			w.WriteString(l.Key)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabelValue(l.Value))
+			w.WriteByte('"')
+		}
+		if extraKey != "" {
+			if !first {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraKey)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabelValue(extraVal))
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(value))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a sample value ("+Inf", "-Inf" and "NaN" included).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes backslash, double quote and newline, the three
+// characters the text format requires escaped inside label values.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`, "\r", `\n`)
+
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }
+
+// escapeHelp escapes backslash and newline in help text.
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, "\r", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text format (mount it on /metrics).
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.WritePrometheus(w)
+	})
+}
+
+// defaultMetrics is the process-wide registry behind Default and Handler.
+var (
+	defaultOnce    sync.Once
+	defaultMetrics *Metrics
+)
+
+// Default returns the process-wide registry, creating it on first use.
+func Default() *Metrics {
+	defaultOnce.Do(func() { defaultMetrics = NewMetrics() })
+	return defaultMetrics
+}
+
+// Handler serves the Default registry in the Prometheus text format.
+func Handler() http.Handler { return Default().Handler() }
+
+// PublishExpvar publishes the registry under the given expvar name as one
+// JSON object {metricName: value | {bucket counts...}}. Publishing the
+// same name twice (even across registries) keeps the first publication,
+// since the expvar namespace is global and re-publishing panics.
+func (m *Metrics) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		out := make(map[string]any)
+		for _, mt := range m.snapshot() {
+			d := mt.describe()
+			key := d.name
+			for _, l := range d.labels {
+				key += ";" + l.Key + "=" + l.Value
+			}
+			switch v := mt.(type) {
+			case *Counter:
+				out[key] = v.Value()
+			case *Gauge:
+				out[key] = v.Value()
+			case *Histogram:
+				out[key] = map[string]any{"count": v.Count(), "sum": v.Sum()}
+			}
+		}
+		return out
+	}))
+}
+
+// NewServeMux returns a mux exposing the registry on /metrics and expvar
+// on /debug/vars; with withPprof it also mounts the net/http/pprof
+// profiling handlers under /debug/pprof/. This is the single switch the
+// CLI flags (-metrics-addr, -pprof) toggle — profiling endpoints stay off
+// unless explicitly requested.
+func NewServeMux(m *Metrics, withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

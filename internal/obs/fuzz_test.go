@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMetricsExposition feeds arbitrary metric names, help text and label
+// pairs through registration and the Prometheus text encoder, and asserts
+// the output always parses: names land in the legal charset, label values
+// are escaped, sample values are floats. This pins the sanitize/escape
+// pair — any byte sequence a caller registers must still produce a
+// scrapeable page.
+func FuzzMetricsExposition(f *testing.F) {
+	f.Add("cpq_queries_total", "Completed queries.", "algo", "heap", 1.5)
+	f.Add("9starts_with_digit", "help\nwith newline", "le", "quo\"te", -0.0)
+	f.Add("", "", "", `back\slash`, 1e300)
+	f.Add("ns:colons:ok", "tabs\tand\rreturns", "key:colon", "v1", 0.001)
+	f.Fuzz(func(t *testing.T, name, help, lkey, lval string, v float64) {
+		m := NewMetrics()
+		c := m.Counter(name, help, Label{Key: lkey, Value: lval})
+		c.Inc()
+		m.Gauge(name+"_g", help).Set(v)
+		h := m.Histogram(name+"_h", help, []float64{v, 1, 10}, Label{Key: lkey, Value: lval})
+		h.Observe(v)
+		h.Observe(1)
+		var buf bytes.Buffer
+		if err := m.WritePrometheus(&buf); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		if err := validateExposition(buf.Bytes()); err != nil {
+			t.Fatalf("exposition does not parse: %v\ninput name=%q help=%q lkey=%q lval=%q v=%v\noutput:\n%s",
+				err, name, help, lkey, lval, v, buf.String())
+		}
+	})
+}

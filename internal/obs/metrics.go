@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of counters, gauges and histograms. Registration
+// takes a lock; the metric handles it returns update through atomics only,
+// so queries record into a shared registry without contention. Reading the
+// same name (with the same labels and kind) twice returns the same handle.
+type Metrics struct {
+	mu      sync.Mutex
+	byKey   map[string]anyMetric
+	ordered []anyMetric // exposition order = registration order
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{byKey: make(map[string]anyMetric)}
+}
+
+// Label is one constant name/value pair attached to a metric at
+// registration. Values are escaped at exposition time and may contain any
+// bytes; keys are sanitized like metric names.
+type Label struct {
+	Key, Value string
+}
+
+// desc is the identity shared by every metric kind.
+type desc struct {
+	name   string
+	help   string
+	labels []Label
+}
+
+// anyMetric is the registry's internal view of one metric.
+type anyMetric interface {
+	describe() desc
+	kind() string // prometheus TYPE: counter, gauge, histogram
+}
+
+// sanitizeName maps an arbitrary string onto the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*. Invalid bytes become '_'; an empty or
+// digit-leading name gains a '_' prefix.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// sanitizeLabelKey maps an arbitrary string onto the label-name charset
+// [a-zA-Z_][a-zA-Z0-9_]* (no colons, unlike metric names).
+func sanitizeLabelKey(s string) string {
+	out := strings.ReplaceAll(sanitizeName(s), ":", "_")
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}
+
+// normalize sanitizes a metric identity and fixes its label order.
+func normalize(name, help string, labels []Label) desc {
+	d := desc{name: sanitizeName(name), help: help}
+	d.labels = make([]Label, len(labels))
+	for i, l := range labels {
+		d.labels[i] = Label{Key: sanitizeLabelKey(l.Key), Value: l.Value}
+	}
+	sort.SliceStable(d.labels, func(i, j int) bool { return d.labels[i].Key < d.labels[j].Key })
+	return d
+}
+
+// key is the registry identity: name plus rendered label set.
+func (d desc) key() string {
+	var b strings.Builder
+	b.WriteString(d.name)
+	for _, l := range d.labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// register returns the existing metric under d's key or adds m. A key
+// reused with a different kind panics: it is a programming error that
+// would corrupt the exposition.
+func (m *Metrics) register(d desc, fresh anyMetric) anyMetric {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if got, ok := m.byKey[d.key()]; ok {
+		if got.kind() != fresh.kind() {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)",
+				d.name, fresh.kind(), got.kind()))
+		}
+		return got
+	}
+	m.byKey[d.key()] = fresh
+	m.ordered = append(m.ordered, fresh)
+	return fresh
+}
+
+// snapshot returns the registered metrics in registration order.
+func (m *Metrics) snapshot() []anyMetric {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]anyMetric(nil), m.ordered...)
+}
+
+// Counter ---------------------------------------------------------------
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	d desc
+	v atomic.Int64
+}
+
+// Counter registers (or finds) a counter.
+func (m *Metrics) Counter(name, help string, labels ...Label) *Counter {
+	d := normalize(name, help, labels)
+	return m.register(d, &Counter{d: d}).(*Counter)
+}
+
+func (c *Counter) describe() desc { return c.d }
+func (c *Counter) kind() string   { return "counter" }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge -----------------------------------------------------------------
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	d    desc
+	bits atomic.Uint64
+}
+
+// Gauge registers (or finds) a gauge.
+func (m *Metrics) Gauge(name, help string, labels ...Label) *Gauge {
+	d := normalize(name, help, labels)
+	return m.register(d, &Gauge{d: d}).(*Gauge)
+}
+
+func (g *Gauge) describe() desc { return g.d }
+func (g *Gauge) kind() string   { return "gauge" }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (CAS loop; exact under concurrency).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram -------------------------------------------------------------
+
+// Histogram counts observations into fixed buckets. Buckets are upper
+// bounds in ascending order; a final +Inf bucket is implicit. All updates
+// are atomic: Observe is one bucket increment, one count increment and one
+// CAS-add on the sum.
+type Histogram struct {
+	d      desc
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Histogram registers (or finds) a histogram with the given bucket upper
+// bounds (sorted and deduplicated; non-finite bounds are dropped — the
+// +Inf bucket is always implicit).
+func (m *Metrics) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	d := normalize(name, help, labels)
+	bounds := make([]float64, 0, len(buckets))
+	for _, b := range buckets {
+		if !math.IsInf(b, 0) && !math.IsNaN(b) {
+			bounds = append(bounds, b)
+		}
+	}
+	sort.Float64s(bounds)
+	uniq := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != bounds[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	h := &Histogram{d: d, bounds: uniq, counts: make([]atomic.Int64, len(uniq)+1)}
+	return m.register(d, h).(*Histogram)
+}
+
+func (h *Histogram) describe() desc { return h.d }
+func (h *Histogram) kind() string   { return "histogram" }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bucket helpers --------------------------------------------------------
+
+// LinearBuckets returns count upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns count upper bounds start, start*factor, ...
+func ExpBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

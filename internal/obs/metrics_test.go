@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotent(t *testing.T) {
+	m := NewMetrics()
+	a := m.Counter("reqs_total", "requests", Label{Key: "algo", Value: "heap"})
+	b := m.Counter("reqs_total", "requests", Label{Key: "algo", Value: "heap"})
+	if a != b {
+		t.Fatalf("same identity returned distinct handles")
+	}
+	c := m.Counter("reqs_total", "requests", Label{Key: "algo", Value: "std"})
+	if a == c {
+		t.Fatalf("distinct label values returned the same handle")
+	}
+	if got := len(m.snapshot()); got != 2 {
+		t.Fatalf("snapshot size = %d, want 2", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	m.Gauge("x", "")
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"cpq_queries_total": "cpq_queries_total",
+		"9lives":            "_9lives",
+		"a b/c":             "a_b_c",
+		"":                  "_",
+		"ns:sub":            "ns:sub",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := sanitizeLabelKey("ns:sub"); got != "ns_sub" {
+		t.Errorf("sanitizeLabelKey(ns:sub) = %q, want ns_sub", got)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("c", "")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := m.Gauge("g", "")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+	h := m.Histogram("h", "", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("hist count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Fatalf("hist sum = %v, want 556.5", h.Sum())
+	}
+	// Bucket assignment: le=1 gets {0.5, 1}, le=10 gets {5}, le=100 gets
+	// {50}, +Inf gets {500}.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHistogramBucketNormalization(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("h", "", []float64{10, 1, 10, mathInf()})
+	if len(h.bounds) != 2 || h.bounds[0] != 1 || h.bounds[1] != 10 {
+		t.Fatalf("bounds = %v, want [1 10]", h.bounds)
+	}
+}
+
+func mathInf() float64 { v := 0.0; return 1 / v }
+
+func TestWritePrometheusParses(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("cpq_queries_total", "Completed queries.", Label{Key: "algo", Value: `he"ap\n`}).Inc()
+	m.Gauge("cpq_hit_ratio", "Cache hit ratio.").Set(0.75)
+	m.Histogram("cpq_latency", "Latency.", []float64{0.001, 0.01}).Observe(0.002)
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE cpq_queries_total counter",
+		`cpq_queries_total{algo="he\"ap\\n"} 1`,
+		"cpq_hit_ratio 0.75",
+		`cpq_latency_bucket{le="+Inf"} 1`,
+		"cpq_latency_sum 0.002",
+		"cpq_latency_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPublishExpvarDuplicate(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("dup_total", "").Inc()
+	m.PublishExpvar("obs_test_dup")
+	// A second publication under the same name must not panic.
+	NewMetrics().PublishExpvar("obs_test_dup")
+}
+
+// TestMetricsConcurrent hammers one registry from many goroutines while a
+// reader encodes it; run under -race (ci.sh obs does).
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := m.Counter("con_total", "")
+			g := m.Gauge("con_gauge", "")
+			h := m.Histogram("con_hist", "", LinearBuckets(0, 10, 8))
+			for i := 0; i < 2000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 80))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := m.WritePrometheus(&buf); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := m.Counter("con_total", "").Value(); got != 8*2000 {
+		t.Fatalf("counter = %d, want %d", got, 8*2000)
+	}
+	if got := m.Gauge("con_gauge", "").Value(); got != 8*2000 {
+		t.Fatalf("gauge = %v, want %d", got, 8*2000)
+	}
+	if got := m.Histogram("con_hist", "", nil).Count(); got != 8*2000 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*2000)
+	}
+}
+
+func TestEngineMetricsRecord(t *testing.T) {
+	m := NewMetrics()
+	em := NewEngineMetrics(m)
+	em.Record(QueryReport{Seconds: 0.01, Accesses: 42, Results: 10, KthDistance: 1.5, CacheHits: 3, CacheMisses: 1})
+	em.Record(QueryReport{Err: "boom"})
+	if em.Queries.Value() != 1 || em.QueryErrors.Value() != 1 {
+		t.Fatalf("queries=%d errors=%d, want 1/1", em.Queries.Value(), em.QueryErrors.Value())
+	}
+	if em.AccessesTotal.Value() != 42 {
+		t.Fatalf("accesses = %d, want 42", em.AccessesTotal.Value())
+	}
+	if got := em.NodeCacheHitRatio.Value(); got != 0.75 {
+		t.Fatalf("hit ratio = %v, want 0.75", got)
+	}
+	// Nil receiver is a no-op.
+	var nilEM *EngineMetrics
+	nilEM.Record(QueryReport{Seconds: 1})
+}
+
+// validateExposition checks that data is well-formed Prometheus text
+// format (version 0.0.4): every line is a # HELP / # TYPE comment or a
+// sample `name{labels} value` with valid names, escapes and float values.
+// Shared with FuzzMetricsExposition.
+func validateExposition(data []byte) error {
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if line == "" {
+			if i == len(lines)-1 {
+				continue
+			}
+			return fmt.Errorf("line %d: empty line inside exposition", i+1)
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name := rest
+			if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+				name = rest[:sp]
+			}
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: bad HELP metric name %q", i+1, name)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line", i+1)
+			}
+			if !validMetricName(fields[0]) {
+				return fmt.Errorf("line %d: bad TYPE metric name %q", i+1, fields[0])
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				return fmt.Errorf("line %d: unknown type %q", i+1, fields[1])
+			}
+		case strings.HasPrefix(line, "#"):
+			return fmt.Errorf("line %d: unexpected comment %q", i+1, line)
+		default:
+			if err := validateSample(line); err != nil {
+				return fmt.Errorf("line %d: %v (%q)", i+1, err, line)
+			}
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelKey(s string) bool {
+	return validMetricName(s) && !strings.Contains(s, ":")
+}
+
+func validateSample(line string) error {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	if !validMetricName(line[:i]) {
+		return fmt.Errorf("bad metric name %q", line[:i])
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j >= len(line) || !validLabelKey(line[i:j]) {
+				return fmt.Errorf("bad label key %q", line[i:j])
+			}
+			if j+1 >= len(line) || line[j+1] != '"' {
+				return fmt.Errorf("label value not quoted")
+			}
+			i = j + 2
+			for {
+				if i >= len(line) {
+					return fmt.Errorf("unterminated label value")
+				}
+				c := line[i]
+				if c == '"' {
+					i++
+					break
+				}
+				if c == '\\' {
+					if i+1 >= len(line) {
+						return fmt.Errorf("dangling escape")
+					}
+					switch line[i+1] {
+					case '\\', '"', 'n':
+					default:
+						return fmt.Errorf("bad escape \\%c", line[i+1])
+					}
+					i += 2
+					continue
+				}
+				i++
+			}
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return fmt.Errorf("missing space before value")
+	}
+	if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+		return fmt.Errorf("bad sample value %q", line[i+1:])
+	}
+	return nil
+}

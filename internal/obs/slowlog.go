@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SlowQueryLog records queries slower than a threshold and aggregates
+// cost statistics per query label. Fast queries cost one mutex-guarded
+// aggregate update at completion; slow ones additionally write a JSON
+// line, so the log doubles as a targeted trace of the outliers.
+type SlowQueryLog struct {
+	threshold time.Duration
+
+	mu   sync.Mutex
+	w    io.Writer
+	agg  map[string]*slowAgg
+	slow int64
+	all  int64
+}
+
+// slowAgg is the per-label aggregate.
+type slowAgg struct {
+	count    int64
+	slow     int64
+	seconds  float64
+	maxSecs  float64
+	accesses int64
+}
+
+// NewSlowQueryLog returns a log writing queries at or above threshold to
+// w as JSON lines (w may be nil to aggregate only).
+func NewSlowQueryLog(threshold time.Duration, w io.Writer) *SlowQueryLog {
+	return &SlowQueryLog{threshold: threshold, w: w, agg: make(map[string]*slowAgg)}
+}
+
+// Threshold returns the slow-query cutoff.
+func (l *SlowQueryLog) Threshold() time.Duration { return l.threshold }
+
+// Record folds one finished query into the aggregates and, when its
+// latency meets the threshold, writes it as a JSON line. Nil-safe.
+func (l *SlowQueryLog) Record(r QueryReport) {
+	if l == nil {
+		return
+	}
+	isSlow := time.Duration(r.Seconds*float64(time.Second)) >= l.threshold
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a := l.agg[r.Label]
+	if a == nil {
+		a = &slowAgg{}
+		l.agg[r.Label] = a
+	}
+	l.all++
+	a.count++
+	a.seconds += r.Seconds
+	a.accesses += r.Accesses
+	if r.Seconds > a.maxSecs {
+		a.maxSecs = r.Seconds
+	}
+	if !isSlow {
+		return
+	}
+	l.slow++
+	a.slow++
+	if l.w != nil {
+		if b, err := json.Marshal(r); err == nil {
+			b = append(b, '\n')
+			l.w.Write(b)
+		}
+	}
+}
+
+// Summary renders the per-label aggregates, slowest average first — the
+// operator's answer to "which query shape is eating the latency budget".
+func (l *SlowQueryLog) Summary() string {
+	if l == nil {
+		return ""
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	labels := make([]string, 0, len(l.agg))
+	for k := range l.agg {
+		labels = append(labels, k)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		ai, aj := l.agg[labels[i]], l.agg[labels[j]]
+		return ai.seconds/float64(ai.count) > aj.seconds/float64(aj.count)
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "slow-query log: %d/%d queries >= %v\n", l.slow, l.all, l.threshold)
+	for _, k := range labels {
+		a := l.agg[k]
+		fmt.Fprintf(&b, "  %-32s n=%d slow=%d avg=%.3fms max=%.3fms avg_accesses=%.0f\n",
+			k, a.count, a.slow,
+			1e3*a.seconds/float64(a.count), 1e3*a.maxSecs,
+			float64(a.accesses)/float64(a.count))
+	}
+	return b.String()
+}

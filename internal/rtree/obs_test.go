@@ -1,0 +1,71 @@
+package rtree
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// recordTracer captures events for assertions.
+type recordTracer struct{ events []obs.Event }
+
+func (r *recordTracer) Event(e obs.Event) { r.events = append(r.events, e) }
+
+// TestReadNodeCacheTracing checks that ReadNode emits cache_miss/cache_hit
+// events with the page id, and only while a cache is attached.
+func TestReadNodeCacheTracing(t *testing.T) {
+	pool := storage.NewBufferPool(storage.NewMemFile(1024), 8)
+	tr, err := New(pool, Config{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p := geom.Point{X: float64(i % 10), Y: float64(i / 10)}
+		if err := tr.InsertPoint(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := &recordTracer{}
+	tr.SetTracer(rec)
+
+	// No cache attached: no cache events regardless of tracer.
+	if _, err := tr.ReadNode(tr.RootID()); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.events) != 0 {
+		t.Fatalf("got %d events without a cache", len(rec.events))
+	}
+
+	tr.SetNodeCache(NewNodeCache(16, 1))
+	if _, err := tr.ReadNode(tr.RootID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ReadNode(tr.RootID()); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.events) != 2 {
+		t.Fatalf("got %d events, want miss+hit", len(rec.events))
+	}
+	if rec.events[0].Kind != obs.EvCacheMiss || rec.events[1].Kind != obs.EvCacheHit {
+		t.Fatalf("events = %v, %v; want cache_miss, cache_hit", rec.events[0].Kind, rec.events[1].Kind)
+	}
+	for _, e := range rec.events {
+		if e.N != int64(tr.RootID()) {
+			t.Errorf("event carries page %d, want %d", e.N, tr.RootID())
+		}
+	}
+}
+
+// TestCacheTraceDisabledZeroAlloc pins the nil-tracer fast path of the
+// ReadNode hook.
+func TestCacheTraceDisabledZeroAlloc(t *testing.T) {
+	tr := &Tree{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.traceCacheEvent(obs.EvCacheHit, 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled cache-trace path allocates %v per op, want 0", allocs)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Policy selects the page replacement policy of a BufferPool. The paper
@@ -70,6 +72,11 @@ type BufferPool struct {
 	capacity int
 
 	hits, reads, writes, evictions atomic.Int64
+
+	// tracer, when non-nil, receives a pool_evict event per page eviction.
+	// Set it before concurrent use; nil (the default) costs one pointer
+	// comparison per eviction and nothing on hits or misses.
+	tracer obs.Tracer
 }
 
 // bufShard is one lock stripe: an independent replacement domain over the
@@ -329,6 +336,19 @@ func (b *BufferPool) Stats() IOStats {
 	}
 }
 
+// SetTracer attaches (or, with nil, detaches) a tracer receiving eviction
+// events. Set it before concurrent pool use.
+func (b *BufferPool) SetTracer(tr obs.Tracer) { b.tracer = tr }
+
+// traceEvict emits one page eviction. Called under the shard lock; the
+// tracer must not call back into the pool.
+func (b *BufferPool) traceEvict(id PageID) {
+	if b.tracer == nil {
+		return
+	}
+	b.tracer.Event(obs.Event{Kind: obs.EvPoolEvict, N: int64(id)})
+}
+
 // ResetStats zeroes the counters (cache contents are preserved).
 func (b *BufferPool) ResetStats() {
 	b.reads.Store(0)
@@ -420,6 +440,7 @@ func (s *bufShard) evictOverflow() {
 		s.unlink(victim)
 		delete(s.entries, victim.id)
 		s.pool.evictions.Add(1)
+		s.pool.traceEvict(victim.id)
 		s.putFree(victim)
 	}
 }
