@@ -12,12 +12,15 @@
 #                      the single supported lint entry point)
 #   ./ci.sh lint-self  the analyzer over its own sources, plus the
 #                      fuzz seed-corpus presence check
-#   ./ci.sh bench      the PR 4 perf gate: the hot-path Go benchmarks
+#   ./ci.sh bench      the perf gates: the hot-path Go benchmarks
 #                      (Fig. 4/7, parallel K-CPQ, pair heap) with
 #                      -benchmem, then the leafscan ablation, which
 #                      fails if the plane-sweep leaf scan evaluates
-#                      more point pairs than the brute scan; writes
-#                      BENCH_PR4.json
+#                      more point pairs than the brute scan (writes
+#                      BENCH_PR4.json), then the pr6 kernel ablation,
+#                      which fails if the grid scan + batched kernel
+#                      run slower than the legacy sweep baseline or
+#                      drift its cost counters (writes BENCH_PR6.json)
 #   ./ci.sh obs        the observability gates: the zero-alloc tests on
 #                      the disabled hook paths, the obs registry under
 #                      the race detector, and a Prometheus-exposition
@@ -43,9 +46,14 @@ lint_self() {
 	done
 }
 
-# bench regenerates BENCH_PR4.json and enforces the leaf-scan regression
-# gate: cpqbench -pr4 exits non-zero if the sweep evaluates more point
-# pairs than the brute scan on the standard uniform workload. The Go
+# bench regenerates BENCH_PR4.json and BENCH_PR6.json and enforces the
+# perf regression gates: cpqbench -pr4 exits non-zero if the sweep
+# evaluates more point pairs than the brute scan on the standard
+# uniform workload; cpqbench -pr6 re-measures the BENCH_PR4 sweep
+# configuration (sequential HEAP, sweep leaf scan, legacy kernel) as
+# its in-process baseline and exits non-zero if the grid scan +
+# batched kernel run slower than it, or if they change the paper's
+# disk-access / node-pair counters or the result distances. The Go
 # benchmarks run once per case (-benchtime 1x) as a smoke pass; rerun
 # them with a higher -benchtime for stable timings.
 bench() {
@@ -53,6 +61,7 @@ bench() {
 	go test -run '^$' -bench 'BenchmarkParallelKCPQ' -benchtime 1x -benchmem ./internal/bench
 	go test -run '^$' -bench 'BenchmarkPairHeap' -benchtime 100x -benchmem ./internal/core
 	go run ./cmd/cpqbench -experiment leafscan -pr4 BENCH_PR4.json
+	go run ./cmd/cpqbench -experiment pr6 -pr6 BENCH_PR6.json
 }
 
 # obs gates the observability layer: hooks must stay free when disabled

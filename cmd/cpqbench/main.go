@@ -10,8 +10,11 @@
 //	cpqbench -scale 0.25           # custom scale
 //	cpqbench -parallel 4           # 4 HEAP workers (0 = GOMAXPROCS)
 //	cpqbench -leafscan brute       # force a leaf scan strategy on every run
+//	cpqbench -leafscan auto        # let the cost-model advisor pick per run
+//	cpqbench -batch-expand         # batched heap dequeues in sequential HEAP
 //	cpqbench -nodecache 4096       # attach a decoded-node cache to every tree
 //	cpqbench -pr4 BENCH_PR4.json   # run the leafscan ablation, write its report
+//	cpqbench -pr6 BENCH_PR6.json   # run the kernel ablation, write its report
 //	cpqbench -trace trace.jsonl    # write every query's trace events as JSON lines
 //	cpqbench -metrics-addr :9090   # serve /metrics (Prometheus text) and /debug/vars
 //	cpqbench -pprof                # with -metrics-addr, also mount /debug/pprof/
@@ -52,9 +55,11 @@ func main() {
 		quick      = flag.Bool("quick", false, "scale cardinalities down to 1/10 for a fast smoke run")
 		scale      = flag.Float64("scale", 1.0, "cardinality scale factor (1.0 = the paper's sizes)")
 		parallel   = flag.Int("parallel", 1, "HEAP worker count for experiments that don't pick their own; 1 = the paper's sequential algorithm, 0 = GOMAXPROCS")
-		leafScan   = flag.String("leafscan", "", "force a leaf scan strategy on every run: sweep or brute (default: per-experiment choice)")
+		leafScan   = flag.String("leafscan", "", "force a leaf scan strategy on every run: sweep, brute, grid or auto (default: per-experiment choice)")
+		batchExp   = flag.Bool("batch-expand", false, "batched heap dequeues in the sequential HEAP algorithm on every run")
 		nodeCache  = flag.Int("nodecache", 0, "decoded-node cache capacity (nodes per tree) attached to experiment trees; 0 = no cache (the paper's exact disk accounting)")
 		pr4        = flag.String("pr4", "", "run the leafscan ablation and write its JSON report to this file")
+		pr6        = flag.String("pr6", "", "run the pr6 kernel ablation and write its JSON report to this file")
 		traceFile  = flag.String("trace", "", "write every query's trace events to this file as JSON lines")
 		metricsAt  = flag.String("metrics-addr", "", "serve engine metrics on this address (/metrics Prometheus text, /debug/vars expvar)")
 		pprofOn    = flag.Bool("pprof", false, "with -metrics-addr, also mount net/http/pprof under /debug/pprof/")
@@ -85,8 +90,15 @@ func main() {
 		bench.SetDefaultLeafScan(core.LeafScanSweep)
 	case "brute":
 		bench.SetDefaultLeafScan(core.LeafScanBrute)
+	case "grid":
+		bench.SetDefaultLeafScan(core.LeafScanGrid)
+	case "auto":
+		bench.SetDefaultLeafScanAuto()
 	default:
-		fatal(fmt.Errorf("unknown -leafscan %q; want sweep or brute", *leafScan))
+		fatal(fmt.Errorf("unknown -leafscan %q; want sweep, brute, grid or auto", *leafScan))
+	}
+	if *batchExp {
+		bench.SetDefaultBatchExpand(true)
 	}
 	if *nodeCache > 0 {
 		bench.SetDefaultNodeCache(*nodeCache)
@@ -159,17 +171,23 @@ func main() {
 			toRun = append(toRun, e)
 		}
 	}
-	if *pr4 != "" {
-		// -pr4 needs the leafscan ablation; append it if not selected.
+	// -pr4/-pr6 need their ablations; append them if not selected.
+	for _, need := range []struct {
+		flagVal string
+		exp     string
+	}{{*pr4, "leafscan"}, {*pr6, "pr6"}} {
+		if need.flagVal == "" {
+			continue
+		}
 		found := false
 		for _, e := range toRun {
-			if e.Name == "leafscan" {
+			if e.Name == need.exp {
 				found = true
 				break
 			}
 		}
 		if !found {
-			e, _ := bench.ByName("leafscan")
+			e, _ := bench.ByName(need.exp)
 			toRun = append(toRun, e)
 		}
 	}
@@ -213,6 +231,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(w, "wrote leafscan report to %s\n", *pr4)
+	}
+	if *pr6 != "" {
+		rep := bench.PR6LastReport()
+		if rep == nil {
+			fatal(fmt.Errorf("pr6 ablation produced no report"))
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*pr6, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "wrote pr6 report to %s\n", *pr6)
 	}
 }
 

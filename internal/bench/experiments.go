@@ -35,6 +35,7 @@ var registry = []Experiment{
 	{"semi", "Semi-CPQ: per-point NN vs batched leaf traversal", runSemi},
 	{"parallel", "Parallel HEAP engine: wall-clock speedup and accesses vs workers", runParallel},
 	{"leafscan", "Ablation: plane-sweep vs brute leaf scan, decoded-node cache on/off", runLeafScan},
+	{"pr6", "Ablation: grid leaf scan, batched MINMINDIST kernel, heap-batch expansion", runPR6},
 }
 
 // Experiments lists every registered experiment in presentation order.

@@ -139,19 +139,47 @@ func (j *join) modeFor(na, nb *rtree.Node) expandMode {
 	}
 }
 
-// expand generates the candidate sub-pairs of a node pair and, for the
-// algorithms that tighten T (SIM, STD, HEAP), updates the auxiliary bound
-// from the generated MBR pairs. MINMINDIST values are computed for every
-// pruning algorithm; tie keys only when a tie strategy is active.
-func (j *join) expand(p nodePair, na, nb *rtree.Node) []nodePair {
-	subs, mode := j.computeSubs(p, na, nb)
-	if j.tightens() {
-		if b := j.boundCandidate(subs, mode, na, nb); b < j.bound {
-			j.bound = b
-			j.traceBound(j.boundSource())
+// expandInto generates the candidate sub-pairs of a node pair, tightens
+// the sequential auxiliary bound for the algorithms that do so (SIM, STD,
+// HEAP), and appends the sub-pairs surviving the post-tighten pruning
+// bound T to dst. MINMINDIST values are computed for every pruning
+// algorithm; tie keys only when a tie strategy is active. The batched
+// kernel (kernel.go) and the legacy per-pair path produce identical
+// sub-pairs, bounds and counters; Options.Expand selects between them.
+// Sequential drivers only — it mutates j.bound; parallel workers pair
+// beginExpand with the atomic bound instead.
+func (j *join) expandInto(p nodePair, na, nb *rtree.Node, dst []nodePair) []nodePair {
+	if j.opts.Expand == ExpandLegacy {
+		subs, mode := j.computeSubs(p, na, nb)
+		if j.tightens() {
+			if b := j.boundCandidate(subs, mode, na, nb); b < j.bound {
+				j.bound = b
+				j.traceBound(j.boundSource())
+			}
 		}
+		if !j.prunes() {
+			return append(dst, subs...)
+		}
+		T := j.T()
+		for _, sp := range subs {
+			if sp.minminSq > T {
+				j.stats.subPairsPruned.Add(1)
+				continue
+			}
+			dst = append(dst, sp)
+		}
+		return dst
 	}
-	return subs
+	e := j.beginExpand(p, na, nb)
+	if j.tightens() && e.bound < j.bound {
+		j.bound = e.bound
+		j.traceBound(j.boundSource())
+	}
+	T := math.Inf(1)
+	if j.prunes() {
+		T = j.T()
+	}
+	return e.finish(dst, T)
 }
 
 // computeSubs generates the candidate sub-pairs of a node pair with their
@@ -277,10 +305,14 @@ func (j *join) scanLeaves(na, nb *rtree.Node) {
 // none — the signal parallel workers use to decide whether merging their
 // local heap can tighten the published bound.
 func (j *join) scanLeavesInto(na, nb *rtree.Node, kh *kHeap, extBound float64) float64 {
-	if j.opts.LeafScan == LeafScanBrute {
+	switch j.opts.LeafScan {
+	case LeafScanBrute:
 		return j.scanLeavesBrute(na, nb, kh)
+	case LeafScanGrid:
+		return j.scanLeavesGrid(na, nb, kh, extBound)
+	default:
+		return j.scanLeavesSweep(na, nb, kh, extBound)
 	}
-	return j.scanLeavesSweep(na, nb, kh, extBound)
 }
 
 // scanLeavesBrute is the paper's CP3: evaluate all n*m entry pairs.

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// This file implements the batched expansion kernel (Options.Expand ==
+// ExpandBatched). Expanding a node pair is the hot path of every pruning
+// algorithm once the leaf scan is cheap: for an expandBoth pair it computes
+// n*m MINMINDIST values, and the legacy path (expand.go) does so through
+// per-pair rect method calls after materialising every candidate nodePair
+// (~11 words each) whether it survives pruning or not.
+//
+// The kernel reverses that order. beginExpand copies the child MBRs into
+// flat structure-of-arrays scratch (xlo/xhi/ylo/yhi per side, pooled) and
+// computes all pairwise MINMINDIST keys in one tight branch-light loop the
+// compiler keeps in registers; finish then materialises only the sub-pairs
+// whose key survives the pruning bound. The two-phase shape exists because
+// the two drivers tighten the auxiliary bound differently: the sequential
+// algorithms assign j.bound between the phases, the parallel engine CASes
+// the shared atomic. Everything observable — the sub-pair set, the bound
+// value, SubPairsGenerated/SubPairsPruned, trace events — is identical to
+// the legacy path:
+//
+//   - The per-axis gaps are computed by the same subtraction expressions as
+//     geom.Metric.MinMinKey (only one of the two directed gaps can be
+//     positive), so the keys are bit-identical.
+//   - The bound candidate is computed over ALL generated sub-pairs before
+//     any filtering, exactly like the legacy boundCandidate; the kernel
+//     only skips MINMAXDIST evaluations that provably cannot lower the
+//     K = 1 bound (MINMAXDIST >= MINMINDIST >= current candidate).
+//   - Filtering uses the post-tighten T, the same value the legacy drivers
+//     use after expand() returned.
+//
+// The scratch is pooled and every slice is grown in place, so a warm
+// expansion allocates nothing beyond the caller's destination slice.
+
+// kernelScratch carries one expansion's flat MBR copies and derived keys.
+type kernelScratch struct {
+	axlo, axhi, aylo, ayhi []float64
+	bxlo, bxhi, bylo, byhi []float64
+	keys                   []float64 // MINMINDIST keys, i-major (a outer, b inner)
+	maxmax                 []float64 // MAXMAXDIST keys scratch for the K > 1 bound
+}
+
+var kernelPool = sync.Pool{New: func() any { return new(kernelScratch) }}
+
+// growF64 resizes a scratch slice to n elements, reusing capacity.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func (sc *kernelScratch) fillA(entries []rtree.Entry) {
+	n := len(entries)
+	sc.axlo, sc.axhi = growF64(sc.axlo, n), growF64(sc.axhi, n)
+	sc.aylo, sc.ayhi = growF64(sc.aylo, n), growF64(sc.ayhi, n)
+	for i := range entries {
+		r := &entries[i].Rect
+		sc.axlo[i], sc.axhi[i] = r.Min.X, r.Max.X
+		sc.aylo[i], sc.ayhi[i] = r.Min.Y, r.Max.Y
+	}
+}
+
+func (sc *kernelScratch) fillB(entries []rtree.Entry) {
+	n := len(entries)
+	sc.bxlo, sc.bxhi = growF64(sc.bxlo, n), growF64(sc.bxhi, n)
+	sc.bylo, sc.byhi = growF64(sc.bylo, n), growF64(sc.byhi, n)
+	for i := range entries {
+		r := &entries[i].Rect
+		sc.bxlo[i], sc.bxhi[i] = r.Min.X, r.Max.X
+		sc.bylo[i], sc.byhi[i] = r.Min.Y, r.Max.Y
+	}
+}
+
+func (sc *kernelScratch) fillARect(r geom.Rect) {
+	sc.axlo, sc.axhi = growF64(sc.axlo, 1), growF64(sc.axhi, 1)
+	sc.aylo, sc.ayhi = growF64(sc.aylo, 1), growF64(sc.ayhi, 1)
+	sc.axlo[0], sc.axhi[0] = r.Min.X, r.Max.X
+	sc.aylo[0], sc.ayhi[0] = r.Min.Y, r.Max.Y
+}
+
+func (sc *kernelScratch) fillBRect(r geom.Rect) {
+	sc.bxlo, sc.bxhi = growF64(sc.bxlo, 1), growF64(sc.bxhi, 1)
+	sc.bylo, sc.byhi = growF64(sc.bylo, 1), growF64(sc.byhi, 1)
+	sc.bxlo[0], sc.bxhi[0] = r.Min.X, r.Max.X
+	sc.bylo[0], sc.byhi[0] = r.Min.Y, r.Max.Y
+}
+
+// expansion is one in-flight batched expansion between beginExpand and
+// finish. It holds the pooled scratch, the pair being expanded and the
+// auxiliary bound candidate the generated MBR pairs support.
+type expansion struct {
+	j       *join
+	sc      *kernelScratch
+	p       nodePair
+	na, nb  *rtree.Node
+	mode    expandMode
+	nA, nB  int
+	n       int // nA * nB candidate sub-pairs
+	hasKeys bool
+	// bound is the tightest auxiliary pruning bound the sub-pair MBR
+	// metrics support (+Inf when nothing applies), mirroring the legacy
+	// boundCandidate. The caller applies it: the sequential driver assigns
+	// j.bound, the parallel engine CASes the shared atomic.
+	bound float64
+}
+
+// beginExpand starts a batched expansion of a node pair: it fills the SoA
+// scratch, computes all pairwise MINMINDIST keys (for the pruning
+// algorithms) and the auxiliary bound candidate (for the tightening ones),
+// and counts the generated sub-pairs. The caller must call finish exactly
+// once to materialise survivors and release the scratch.
+func (j *join) beginExpand(p nodePair, na, nb *rtree.Node) expansion {
+	e := expansion{
+		j: j, sc: kernelPool.Get().(*kernelScratch),
+		p: p, na: na, nb: nb,
+		mode:  j.modeFor(na, nb),
+		bound: math.Inf(1),
+	}
+	switch e.mode {
+	case expandBoth:
+		e.nA, e.nB = len(na.Entries), len(nb.Entries)
+		e.sc.fillA(na.Entries)
+		e.sc.fillB(nb.Entries)
+	case expandAOnly:
+		e.nA, e.nB = len(na.Entries), 1
+		e.sc.fillA(na.Entries)
+		e.sc.fillBRect(p.rb)
+	case expandBOnly:
+		e.nA, e.nB = 1, len(nb.Entries)
+		e.sc.fillARect(p.ra)
+		e.sc.fillB(nb.Entries)
+	}
+	e.n = e.nA * e.nB
+	j.stats.subPairsGenerated.Add(int64(e.n))
+	if j.prunes() {
+		e.computeKeys()
+		e.hasKeys = true
+	}
+	if j.tightens() {
+		e.bound = e.boundCandidate()
+	}
+	return e
+}
+
+// computeKeys evaluates all pairwise MINMINDIST keys into sc.keys, i-major.
+// The per-axis gap expressions match geom.Metric.MinMinKey exactly (at most
+// one of the two directed gaps is positive; overlapping axes clamp to 0),
+// so the keys are bit-identical to the legacy per-pair calls.
+func (e *expansion) computeKeys() {
+	sc := e.sc
+	sc.keys = growF64(sc.keys, e.n)
+	keys := sc.keys
+	axlo, axhi := sc.axlo[:e.nA], sc.axhi[:e.nA]
+	aylo, ayhi := sc.aylo[:e.nA], sc.ayhi[:e.nA]
+	bxlo, bxhi := sc.bxlo[:e.nB], sc.bxhi[:e.nB]
+	bylo, byhi := sc.bylo[:e.nB], sc.byhi[:e.nB]
+	if e.j.metric.IsEuclidean() {
+		idx := 0
+		for i := 0; i < e.nA; i++ {
+			alox, ahix := axlo[i], axhi[i]
+			aloy, ahiy := aylo[i], ayhi[i]
+			for t := 0; t < e.nB; t++ {
+				dx := bxlo[t] - ahix
+				if d := alox - bxhi[t]; d > dx {
+					dx = d
+				}
+				if dx < 0 {
+					dx = 0
+				}
+				dy := bylo[t] - ahiy
+				if d := aloy - byhi[t]; d > dy {
+					dy = d
+				}
+				if dy < 0 {
+					dy = 0
+				}
+				keys[idx] = dx*dx + dy*dy
+				idx++
+			}
+		}
+		return
+	}
+	m := e.j.metric
+	idx := 0
+	for i := 0; i < e.nA; i++ {
+		alox, ahix := axlo[i], axhi[i]
+		aloy, ahiy := aylo[i], ayhi[i]
+		for t := 0; t < e.nB; t++ {
+			dx := bxlo[t] - ahix
+			if d := alox - bxhi[t]; d > dx {
+				dx = d
+			}
+			if dx < 0 {
+				dx = 0
+			}
+			dy := bylo[t] - ahiy
+			if d := aloy - byhi[t]; d > dy {
+				dy = d
+			}
+			if dy < 0 {
+				dy = 0
+			}
+			keys[idx] = m.Combine(dx, dy)
+			idx++
+		}
+	}
+}
+
+// rectA returns the a-side MBR of sub-pair column i (the parent's own MBR
+// when the a side is fixed).
+func (e *expansion) rectA(i int) geom.Rect {
+	if e.mode == expandBOnly {
+		return e.p.ra
+	}
+	return e.na.Entries[i].Rect
+}
+
+// rectB returns the b-side MBR of sub-pair row t.
+func (e *expansion) rectB(t int) geom.Rect {
+	if e.mode == expandAOnly {
+		return e.p.rb
+	}
+	return e.nb.Entries[t].Rect
+}
+
+// boundCandidate mirrors the legacy join.boundCandidate over the batched
+// layout: the minimum MINMAXDIST over all sub-pairs for K = 1
+// (Inequality 2), or the MAXMAXDIST prefix bound for K > 1 under
+// KPruneMaxMax. It never mutates join state.
+func (e *expansion) boundCandidate() float64 {
+	j := e.j
+	bound := math.Inf(1)
+	if e.n == 0 {
+		return bound
+	}
+	if j.k == 1 {
+		// MINMAXDIST >= MINMINDIST, so a pair whose MINMINDIST key already
+		// reaches the best candidate cannot lower it — skipping it leaves
+		// the minimum unchanged while avoiding the 16-edge MinMaxKey scan.
+		keys := e.sc.keys[:e.n]
+		idx := 0
+		for i := 0; i < e.nA; i++ {
+			for t := 0; t < e.nB; t++ {
+				if keys[idx] < bound {
+					if mm := j.metric.MinMaxKey(e.rectA(i), e.rectB(t)); mm < bound {
+						bound = mm
+					}
+				}
+				idx++
+			}
+		}
+		return bound
+	}
+	if j.opts.KPrune != KPruneMaxMax {
+		return bound
+	}
+	// K > 1: the guaranteed point-pair count is uniform across one
+	// expansion's sub-pairs (all expanded children sit at the same level,
+	// and a fixed side contributes one shared node), so the legacy
+	// sort-and-accumulate over (maxmax, count) records reduces to the
+	// prefix of the sorted MAXMAXDIST keys alone, with the same running
+	// sum of the same uniform count.
+	var cntA, cntB float64
+	switch e.mode {
+	case expandBoth:
+		cntA = j.guaranteedPoints(j.mA, e.na.Level-1)
+		cntB = j.guaranteedPoints(j.mB, e.nb.Level-1)
+	case expandAOnly:
+		cntA = j.guaranteedPoints(j.mA, e.na.Level-1)
+		cntB = nodeGuaranteedPoints(j.mB, e.nb)
+	case expandBOnly:
+		cntA = nodeGuaranteedPoints(j.mA, e.na)
+		cntB = j.guaranteedPoints(j.mB, e.nb.Level-1)
+	}
+	c := cntA * cntB
+	e.sc.maxmax = growF64(e.sc.maxmax, e.n)
+	mx := e.sc.maxmax
+	idx := 0
+	for i := 0; i < e.nA; i++ {
+		for t := 0; t < e.nB; t++ {
+			mx[idx] = j.metric.MaxMaxKey(e.rectA(i), e.rectB(t))
+			idx++
+		}
+	}
+	sort.Float64s(mx)
+	var cum float64
+	for i := range mx {
+		cum += c
+		if cum >= float64(j.k) {
+			return mx[i]
+		}
+	}
+	return bound
+}
+
+// finish materialises the sub-pairs whose MINMINDIST key does not exceed T
+// into dst (appending), counts the pruned remainder, and releases the
+// scratch. Tie keys are computed only for survivors — pruned pairs' keys
+// were never observable on the legacy path either. Callers that recurse
+// into the result must pass a fresh dst (nil): the returned slice outlives
+// the expansion, unlike the pooled scratch.
+func (e *expansion) finish(dst []nodePair, T float64) []nodePair {
+	j := e.j
+	keys := e.sc.keys
+	var pruned int64
+	idx := 0
+	for i := 0; i < e.nA; i++ {
+		for t := 0; t < e.nB; t++ {
+			var key float64
+			if e.hasKeys {
+				key = keys[idx]
+				if key > T {
+					pruned++
+					idx++
+					continue
+				}
+			}
+			sp := nodePair{minminSq: key}
+			switch e.mode {
+			case expandBoth:
+				sp.a, sp.b = e.na.Entries[i].Child(), e.nb.Entries[t].Child()
+				sp.ra, sp.rb = e.na.Entries[i].Rect, e.nb.Entries[t].Rect
+				sp.la, sp.lb = e.na.Level-1, e.nb.Level-1
+			case expandAOnly:
+				sp.a, sp.b = e.na.Entries[i].Child(), e.p.b
+				sp.ra, sp.rb = e.na.Entries[i].Rect, e.p.rb
+				sp.la, sp.lb = e.na.Level-1, e.p.lb
+			case expandBOnly:
+				sp.a, sp.b = e.p.a, e.nb.Entries[t].Child()
+				sp.ra, sp.rb = e.p.ra, e.nb.Entries[t].Rect
+				sp.la, sp.lb = e.p.la, e.nb.Level-1
+			}
+			if j.useTie {
+				sp.tieKey = tieKeyFor(j.opts.Tie, j.metric, sp.ra, sp.rb,
+					j.rootAreaA, j.rootAreaB)
+			}
+			dst = append(dst, sp)
+			idx++
+		}
+	}
+	if pruned > 0 {
+		j.stats.subPairsPruned.Add(pruned)
+	}
+	kernelPool.Put(e.sc)
+	e.sc = nil
+	return dst
+}

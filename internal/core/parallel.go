@@ -142,6 +142,7 @@ func (s *parHeap) work(id int32) {
 	local := newKHeap(s.j.k)
 	localMin := math.Inf(1) // best accepted distance since the last merge
 	batch := make([]nodePair, 0, parBatch)
+	var subs []nodePair // reused expansion output; push copies into the frontier
 	for {
 		batch = s.take(batch[:0])
 		if len(batch) == 0 {
@@ -157,7 +158,7 @@ func (s *parHeap) work(id int32) {
 			if p.minminSq > s.bound.load() {
 				continue
 			}
-			if err := s.process(p, local, &localMin); err != nil {
+			if err := s.process(p, local, &localMin, &subs); err != nil {
 				s.fail(err)
 				break
 			}
@@ -179,8 +180,10 @@ func (s *parHeap) work(id int32) {
 }
 
 // process handles one claimed node pair: read, scan leaves or expand,
-// tighten the published bound, push surviving sub-pairs.
-func (s *parHeap) process(p nodePair, local *kHeap, localMin *float64) error {
+// tighten the published bound, push surviving sub-pairs. subs is the
+// worker's reusable expansion buffer (push copies into the frontier, so
+// reuse across pairs is safe).
+func (s *parHeap) process(p nodePair, local *kHeap, localMin *float64, subs *[]nodePair) error {
 	j := s.j
 	na, nb, err := j.readPair(p)
 	if err != nil {
@@ -192,26 +195,38 @@ func (s *parHeap) process(p nodePair, local *kHeap, localMin *float64) error {
 		}
 		return nil
 	}
-	subs, mode := j.computeSubs(p, na, nb)
-	if j.tightens() {
-		if b := j.boundCandidate(subs, mode, na, nb); !math.IsInf(b, 1) {
-			if old, ok := s.bound.tighten(b); ok {
-				j.traceBoundValue(old, b, j.boundSource())
+	var kept []nodePair
+	if j.opts.Expand == ExpandLegacy {
+		raw, mode := j.computeSubs(p, na, nb)
+		if j.tightens() {
+			if b := j.boundCandidate(raw, mode, na, nb); !math.IsInf(b, 1) {
+				if old, ok := s.bound.tighten(b); ok {
+					j.traceBoundValue(old, b, j.boundSource())
+				}
 			}
 		}
-	}
-	T := s.bound.load()
-	kept := subs[:0]
-	var pruned int64
-	for _, sp := range subs {
-		if sp.minminSq > T {
-			pruned++
-			continue
+		T := s.bound.load()
+		kept = raw[:0]
+		var pruned int64
+		for _, sp := range raw {
+			if sp.minminSq > T {
+				pruned++
+				continue
+			}
+			kept = append(kept, sp)
 		}
-		kept = append(kept, sp)
-	}
-	if pruned > 0 {
-		j.stats.subPairsPruned.Add(pruned)
+		if pruned > 0 {
+			j.stats.subPairsPruned.Add(pruned)
+		}
+	} else {
+		e := j.beginExpand(p, na, nb)
+		if j.tightens() && !math.IsInf(e.bound, 1) {
+			if old, ok := s.bound.tighten(e.bound); ok {
+				j.traceBoundValue(old, e.bound, j.boundSource())
+			}
+		}
+		*subs = e.finish((*subs)[:0], s.bound.load())
+		kept = *subs
 	}
 	if len(kept) > 0 {
 		s.push(kept)
@@ -237,17 +252,17 @@ func (s *parHeap) take(dst []nodePair) []nodePair {
 			// (Busy workers can still push qualifying pairs afterwards:
 			// sub-pair MINMINDISTs grow monotonically down the tree but
 			// start from their parent's, not from the frontier top's.)
-			if s.frontier.pairs[0].minminSq > s.bound.load() {
+			// The bound is loaded once so the popBatch limit cannot fall
+			// below the top key the dead-frontier check just admitted —
+			// the claimed batch is never empty.
+			b := s.bound.load()
+			if s.frontier.pairs[0].minminSq > b {
 				s.frontier.pairs = s.frontier.pairs[:0]
 				continue
 			}
-			n := parBatch
-			if l := s.frontier.Len(); l < n {
-				n = l
-			}
-			for i := 0; i < n; i++ {
-				dst = append(dst, s.frontier.pop())
-			}
+			dst = s.frontier.popBatch(dst, parBatch, b)
+			s.j.stats.heapBatches.Add(1)
+			s.j.stats.heapBatchPairs.Add(int64(len(dst)))
 			s.busy++
 			return dst
 		}

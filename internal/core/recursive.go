@@ -21,20 +21,11 @@ func (j *join) runRecursive(p nodePair) error {
 		j.traceBound(obs.SourceKHeap)
 		return nil
 	}
-	subs := j.expand(p, na, nb) // also tightens T for SIM and STD
-	if j.prunes() {
-		// Drop pairs that cannot contain a result (CP2: keep MINMINDIST <= T).
-		kept := subs[:0]
-		T := j.T()
-		for _, sp := range subs {
-			if sp.minminSq > T {
-				j.stats.subPairsPruned.Add(1)
-				continue
-			}
-			kept = append(kept, sp)
-		}
-		subs = kept
-	}
+	// The expansion tightens T for SIM and STD and drops pairs that cannot
+	// contain a result (CP2: keep MINMINDIST <= T). dst must be nil: the
+	// recursion below keeps each level's sub-pairs live while descending,
+	// so expansions cannot share an output buffer.
+	subs := j.expandInto(p, na, nb, nil)
 	if j.opts.Algorithm == SortedDistances {
 		// CP2 of STD: process candidates in ascending MINMINDIST order
 		// (tie strategy applied on equal distances), which shrinks T

@@ -134,6 +134,69 @@ func axisProb(d, c float64) float64 {
 	return math.Min(1, sum/steps)
 }
 
+// LeafScanChoice identifies a leaf-pair scanning strategy for step CP3
+// (mirrored by core.LeafScan; the model stays import-free of the engine).
+type LeafScanChoice int
+
+const (
+	// ChooseSweep is the plane-sweep scan: sort both leaves by low x and
+	// band-walk within the pruning distance.
+	ChooseSweep LeafScanChoice = iota
+	// ChooseBrute is the all-pairs scan of the paper's CP3.
+	ChooseBrute
+	// ChooseGrid is the uniform-grid hash scan with cell side equal to the
+	// pruning distance.
+	ChooseGrid
+)
+
+// String implements fmt.Stringer with the engine's option names.
+func (c LeafScanChoice) String() string {
+	switch c {
+	case ChooseBrute:
+		return "brute"
+	case ChooseGrid:
+		return "grid"
+	default:
+		return "sweep"
+	}
+}
+
+// RecommendLeafScan picks the leaf scanning strategy the model expects to
+// win for the workload, with the reasoning:
+//
+//   - Tiny leaves (effective fan-out <= 8): the brute n*m scan — both the
+//     sweep's sort and the grid's hashing cost O(n log n) / O(n) setup per
+//     scan, which a handful of distance evaluations never amortizes.
+//   - Pruning distance well below the leaf extent (d_K <= half the larger
+//     leaf side): the grid — cells of side d_K isolate a small candidate
+//     neighborhood out of each leaf, so most pairs are never touched and
+//     the 3x3 probe beats even the sweep's x-band, which still walks every
+//     entry within d_K along one axis.
+//   - Otherwise: the plane sweep — when d_K is comparable to a leaf's
+//     extent, one grid cell covers much of the leaf and the grid degrades
+//     to brute plus hashing overhead, while the sweep still halves the
+//     evaluated band on average.
+func RecommendLeafScan(p Params) (LeafScanChoice, string, error) {
+	if err := p.validate(); err != nil {
+		return ChooseSweep, "", err
+	}
+	f := p.fanout()
+	if f <= 8 {
+		return ChooseBrute, fmt.Sprintf(
+			"effective leaf fan-out %.1f (<= 8): per-scan sort/hash setup cannot amortize over so few entry pairs", f), nil
+	}
+	sA := TreeShape(p.NA, f)[0].Side
+	sB := TreeShape(p.NB, f)[0].Side
+	side := math.Max(sA, sB)
+	d := ExpectedCPDistance(p.NA, p.NB, p.Overlap, p.K)
+	if side > 0 && d/side <= 0.5 {
+		return ChooseGrid, fmt.Sprintf(
+			"expected pruning distance d_K=%.2g is %.0f%% of the leaf side %.2g (<= 50%%): grid cells isolate few candidates per probe", d, 100*d/side, side), nil
+	}
+	return ChooseSweep, fmt.Sprintf(
+		"expected pruning distance d_K=%.2g is comparable to the leaf side %.2g: grid cells would cover whole leaves, the sweep band still prunes", d, side), nil
+}
+
 // Prediction reports the model's outputs.
 type Prediction struct {
 	// Accesses is the predicted number of page reads (B = 0).

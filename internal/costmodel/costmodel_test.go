@@ -1,10 +1,11 @@
-package costmodel
+package costmodel_test
 
 import (
 	"math"
 	"testing"
 
 	"repro/internal/core"
+	. "repro/internal/costmodel"
 	"repro/internal/dataset"
 	"repro/internal/rtree"
 	"repro/internal/storage"
@@ -39,33 +40,33 @@ func TestTreeShape(t *testing.T) {
 
 func TestAxisProb(t *testing.T) {
 	// Identical workspaces, generous c: certain.
-	if got := axisProb(0, 2); math.Abs(got-1) > 1e-9 {
-		t.Errorf("axisProb(0,2) = %g", got)
+	if got := AxisProb(0, 2); math.Abs(got-1) > 1e-9 {
+		t.Errorf("AxisProb(0,2) = %g", got)
 	}
 	// c = 0: zero.
-	if got := axisProb(0, 0); got > 1e-9 {
-		t.Errorf("axisProb(0,0) = %g", got)
+	if got := AxisProb(0, 0); got > 1e-9 {
+		t.Errorf("AxisProb(0,0) = %g", got)
 	}
 	// Identical workspaces: P(|x-y|<=c) = 2c - c^2 for c in [0,1].
 	for _, c := range []float64{0.1, 0.3, 0.7} {
 		want := 2*c - c*c
-		if got := axisProb(0, c); math.Abs(got-want) > 1e-5 {
-			t.Errorf("axisProb(0,%g) = %g, want %g", c, got, want)
+		if got := AxisProb(0, c); math.Abs(got-want) > 1e-5 {
+			t.Errorf("AxisProb(0,%g) = %g, want %g", c, got, want)
 		}
 	}
 	// Disjoint workspaces shifted by 1: P = c^2/2 for small c (corner
 	// triangle of the unit square).
 	for _, c := range []float64{0.05, 0.2} {
 		want := c * c / 2
-		if got := axisProb(1, c); math.Abs(got-want) > 1e-5 {
-			t.Errorf("axisProb(1,%g) = %g, want %g", c, got, want)
+		if got := AxisProb(1, c); math.Abs(got-want) > 1e-5 {
+			t.Errorf("AxisProb(1,%g) = %g, want %g", c, got, want)
 		}
 	}
 	// Monotone in c, decreasing in shift.
-	if axisProb(0.5, 0.1) > axisProb(0.5, 0.2) {
+	if AxisProb(0.5, 0.1) > AxisProb(0.5, 0.2) {
 		t.Error("axisProb must be monotone in c")
 	}
-	if axisProb(0.2, 0.1) < axisProb(0.8, 0.1) {
+	if AxisProb(0.2, 0.1) < AxisProb(0.8, 0.1) {
 		t.Error("axisProb must decrease with shift")
 	}
 }

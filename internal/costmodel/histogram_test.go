@@ -1,10 +1,11 @@
-package costmodel
+package costmodel_test
 
 import (
 	"math"
 	"testing"
 
 	"repro/internal/core"
+	. "repro/internal/costmodel"
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/rtree"
@@ -65,19 +66,19 @@ func TestMassIn(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The whole bounds contain all mass.
-	if got := h.massIn(h.Bounds); math.Abs(got-h.Total) > 1 {
+	if got := h.MassIn(h.Bounds); math.Abs(got-h.Total) > 1 {
 		t.Errorf("massIn(bounds) = %g, want %g", got, h.Total)
 	}
 	// Half the workspace holds about half the mass.
 	half := geom.Rect{Min: h.Bounds.Min, Max: geom.Point{
 		X: (h.Bounds.Min.X + h.Bounds.Max.X) / 2, Y: h.Bounds.Max.Y}}
-	got := h.massIn(half)
+	got := h.MassIn(half)
 	if got < 0.4*h.Total || got > 0.6*h.Total {
 		t.Errorf("massIn(half) = %g of %g", got, h.Total)
 	}
 	// Disjoint rect: nothing.
 	far := geom.Rect{Min: geom.Point{X: 100, Y: 100}, Max: geom.Point{X: 101, Y: 101}}
-	if h.massIn(far) != 0 {
+	if h.MassIn(far) != 0 {
 		t.Error("disjoint massIn must be 0")
 	}
 }

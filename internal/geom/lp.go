@@ -70,6 +70,13 @@ func (m Metric) combine(dx, dy float64) float64 {
 	}
 }
 
+// Combine merges non-negative per-axis deltas into a comparison key. It
+// is the exported form of combine for flat-array distance kernels
+// (internal/core's batched MINMINDIST loop) that compute per-axis
+// workspace gaps themselves and only need the norm applied; callers must
+// pass deltas >= 0 or the general-p branch misbehaves.
+func (m Metric) Combine(dx, dy float64) float64 { return m.combine(dx, dy) }
+
 // KeyToDist converts a comparison key back into a distance.
 func (m Metric) KeyToDist(k float64) float64 {
 	switch {

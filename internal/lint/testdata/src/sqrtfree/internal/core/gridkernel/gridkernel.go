@@ -1,0 +1,31 @@
+// Package gridkernel is a lint fixture nested under an internal/core path
+// mimicking the grid leaf scan and the batched expansion kernel: taking a
+// root per probed cell or per kernel lane is exactly the regression
+// sqrtfree exists to catch — both hot loops must compare squared keys and
+// convert to a distance only through the allowlisted reporters.
+package gridkernel
+
+import "math"
+
+// gridProbe buckets by true distance instead of the squared key; the root
+// per candidate is a violation.
+func gridProbe(keys []float64, t float64) int {
+	hits := 0
+	for _, k := range keys {
+		if math.Sqrt(k) <= t {
+			hits++
+		}
+	}
+	return hits
+}
+
+// kernelKeys converts every lane's squared key to a distance inside the
+// batch loop; a violation.
+func kernelKeys(dx, dy, out []float64) {
+	for i := range dx {
+		out[i] = math.Sqrt(dx[i]*dx[i] + dy[i]*dy[i])
+	}
+}
+
+// KeyToDist is on the result-reporting allowlist: the one legal root.
+func KeyToDist(dSq float64) float64 { return math.Sqrt(dSq) }

@@ -56,6 +56,18 @@ const (
 	EvWorkerSteal
 	// EvPoolEvict records a buffer-pool page eviction; N is the page id.
 	EvPoolEvict
+	// EvLeafGridPruned records one grid-hash leaf scan; N is the number of
+	// point pairs the grid skipped relative to the brute all-pairs scan
+	// (negative only if cell aliasing made it evaluate extra pairs, which
+	// the slack factor makes vanishingly rare).
+	EvLeafGridPruned
+	// EvGridRebucket records one δ-hysteresis re-bucketing of a grid leaf
+	// scan: the pruning bound shrank enough that the cells were rebuilt
+	// with a smaller side. N is the number of re-hashed entries.
+	EvGridRebucket
+	// EvHeapBatch records one batched dequeue of the HEAP algorithm's pair
+	// heap (Options.BatchExpand); N is the batch size.
+	EvHeapBatch
 )
 
 // String implements fmt.Stringer with stable lowercase names (the JSONL
@@ -82,6 +94,12 @@ func (k EventKind) String() string {
 		return "worker_steal"
 	case EvPoolEvict:
 		return "pool_evict"
+	case EvLeafGridPruned:
+		return "leaf_grid_pruned"
+	case EvGridRebucket:
+		return "grid_rebucket"
+	case EvHeapBatch:
+		return "heap_batch"
 	default:
 		return "unknown"
 	}
