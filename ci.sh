@@ -20,7 +20,11 @@
 #                      BENCH_PR4.json), then the pr6 kernel ablation,
 #                      which fails if the grid scan + batched kernel
 #                      run slower than the legacy sweep baseline or
-#                      drift its cost counters (writes BENCH_PR6.json)
+#                      drift its cost counters (writes BENCH_PR6.json),
+#                      then the ctxflow cancellation gate, which fails
+#                      if threading a live (never-cancelled) context
+#                      through the PR6-optimized hot path costs more
+#                      than 1% wall clock or perturbs any counter
 #   ./ci.sh obs        the observability gates: the zero-alloc tests on
 #                      the disabled hook paths, the obs registry under
 #                      the race detector, and a Prometheus-exposition
@@ -30,6 +34,11 @@ set -eu
 
 lint() {
 	go run ./cmd/cpqlint ./...
+	# The cancellation-correctness pass stays a hard gate on its own even
+	# if the default check set above is ever trimmed: context must reach
+	# every engine entry point, every unbounded loop must poll it, and
+	# every spawned goroutine must observe Done or be joined (DESIGN.md §11).
+	go run ./cmd/cpqlint -checks ctxflow ./...
 }
 
 # lint_self guards the analyzer's own hygiene: cpqlint must hold its own
@@ -62,6 +71,7 @@ bench() {
 	go test -run '^$' -bench 'BenchmarkPairHeap' -benchtime 100x -benchmem ./internal/core
 	go run ./cmd/cpqbench -experiment leafscan -pr4 BENCH_PR4.json
 	go run ./cmd/cpqbench -experiment pr6 -pr6 BENCH_PR6.json
+	go run ./cmd/cpqbench -experiment ctxflow
 }
 
 # obs gates the observability layer: hooks must stay free when disabled

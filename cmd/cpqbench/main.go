@@ -15,6 +15,7 @@
 //	cpqbench -nodecache 4096       # attach a decoded-node cache to every tree
 //	cpqbench -pr4 BENCH_PR4.json   # run the leafscan ablation, write its report
 //	cpqbench -pr6 BENCH_PR6.json   # run the kernel ablation, write its report
+//	cpqbench -timeout 2m           # wall-clock budget (or CPQ_TIMEOUT); exits 3 with partial totals
 //	cpqbench -trace trace.jsonl    # write every query's trace events as JSON lines
 //	cpqbench -metrics-addr :9090   # serve /metrics (Prometheus text) and /debug/vars
 //	cpqbench -pprof                # with -metrics-addr, also mount /debug/pprof/
@@ -24,7 +25,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +41,21 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 )
+
+// envTimeout reads the CPQ_TIMEOUT environment knob, the -timeout flag's
+// default. A malformed value aborts the run rather than silently running
+// without the budget the caller asked for.
+func envTimeout() time.Duration {
+	v := os.Getenv("CPQ_TIMEOUT")
+	if v == "" {
+		return 0
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		fatal(fmt.Errorf("CPQ_TIMEOUT: %w", err))
+	}
+	return d
+}
 
 // summary is the -json record emitted per experiment: wall time plus the
 // aggregated statistics of every query the experiment ran.
@@ -66,8 +84,15 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit one JSON summary per experiment on stdout (tables go only to -out)")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		out        = flag.String("out", "", "also write the report to this file")
+		timeout    = flag.Duration("timeout", envTimeout(), "wall-clock budget for the whole run; queries observe it via context and the run exits non-zero with partial totals (0 = none; default from CPQ_TIMEOUT)")
 	)
 	flag.Parse()
+
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		bench.SetDefaultContext(ctx)
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -202,6 +227,14 @@ func main() {
 		bench.ResetTotals()
 		expStart := time.Now()
 		if err := e.Run(lab, w); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				t := bench.CurrentTotals()
+				fmt.Fprintf(os.Stderr,
+					"cpqbench: %s: wall-clock budget of %s exhausted after %s; partial totals: %d queries, %d disk accesses, %d node pairs\n",
+					e.Name, *timeout, time.Since(start).Round(time.Millisecond),
+					t.Queries, t.Accesses, t.NodePairs)
+				os.Exit(3)
+			}
 			fatal(fmt.Errorf("%s: %w", e.Name, err))
 		}
 		if *jsonOut {

@@ -35,23 +35,29 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
 
 func main() {
 	var (
-		checksFlag = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		checksFlag = flag.String("checks", "", "comma-separated subset of checks to run; group aliases like ctxflow expand (default: all)")
 		checkAlias = flag.String("check", "", "alias for -checks")
 		jsonOut    = flag.Bool("json", false, "emit findings as SARIF-style JSON on stdout")
+		timing     = flag.Bool("timing", false, "print a per-check wall-clock breakdown on stderr")
 		list       = flag.Bool("list", false, "list available checks and exit")
 	)
 	flag.Parse()
 
 	checks := lint.Checks()
+	groups := lint.CheckGroups()
 	if *list {
 		for _, c := range checks {
 			fmt.Println(c.Name())
+		}
+		for g, names := range groups {
+			fmt.Printf("%s (group: %s)\n", g, strings.Join(names, ","))
 		}
 		return
 	}
@@ -65,13 +71,26 @@ func main() {
 			byName[c.Name()] = c
 		}
 		var selected []lint.Check
-		for _, name := range strings.Split(selection, ",") {
-			name = strings.TrimSpace(name)
+		seen := make(map[string]bool)
+		add := func(name string) {
 			c, ok := byName[name]
 			if !ok {
 				fatal(fmt.Errorf("unknown check %q (try -list)", name))
 			}
-			selected = append(selected, c)
+			if !seen[name] {
+				seen[name] = true
+				selected = append(selected, c)
+			}
+		}
+		for _, name := range strings.Split(selection, ",") {
+			name = strings.TrimSpace(name)
+			if expansion, ok := groups[name]; ok {
+				for _, n := range expansion {
+					add(n)
+				}
+				continue
+			}
+			add(name)
 		}
 		checks = selected
 	}
@@ -88,7 +107,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags := lint.Run(prog, checks)
+	diags, timings := lint.RunWithTimings(prog, checks)
+	if *timing {
+		var total time.Duration
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "%-18s %10s\n", t.Name, t.Elapsed.Round(time.Microsecond))
+			total += t.Elapsed
+		}
+		fmt.Fprintf(os.Stderr, "%-18s %10s\n", "total", total.Round(time.Microsecond))
+	}
 	if *jsonOut {
 		if err := writeSARIF(os.Stdout, checks, diags); err != nil {
 			fatal(err)

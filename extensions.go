@@ -1,6 +1,7 @@
 package cpq
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -16,9 +17,16 @@ import (
 
 // WithinDistance streams every pair (p, q) with dist(p, q) <= eps to fn in
 // no particular order; fn may return false to stop. It uses the paper's
-// MINMINDIST pruning with the fixed bound eps.
+// MINMINDIST pruning with the fixed bound eps. It is the non-cancellable
+// shim over WithinDistanceContext.
 func WithinDistance(p, q *Index, eps float64, fn func(Pair) bool, opts ...QueryOption) (Stats, error) {
-	return core.WithinDistance(p.tree, q.tree, eps, buildOptions(opts), fn)
+	return WithinDistanceContext(context.Background(), p, q, eps, fn, opts...)
+}
+
+// WithinDistanceContext is WithinDistance under a context; see
+// ClosestPairContext for the cancellation contract.
+func WithinDistanceContext(ctx context.Context, p, q *Index, eps float64, fn func(Pair) bool, opts ...QueryOption) (Stats, error) {
+	return core.WithinDistanceContext(ctx, p.tree, q.tree, eps, buildOptions(opts), fn)
 }
 
 // Advice is a recommended query plan, per the paper's guidelines.

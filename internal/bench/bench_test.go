@@ -145,7 +145,8 @@ func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
 		out := buf.String()
 		if !strings.Contains(out, "Figure") && !strings.Contains(out, "Ablation") &&
 			!strings.Contains(out, "Footnote") && !strings.Contains(out, "Tree shapes") &&
-			!strings.Contains(out, "Cost model") && !strings.Contains(out, "Semi-CPQ") {
+			!strings.Contains(out, "Cost model") && !strings.Contains(out, "Semi-CPQ") &&
+			!strings.Contains(out, "Cancellation") {
 			t.Fatalf("%s produced unexpected output:\n%s", e.Name, out)
 		}
 		if strings.Count(out, "\n") < 4 {

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -242,6 +243,33 @@ func attachDefaultNodeCache(t *rtree.Tree) {
 	}
 }
 
+// defaultContext, when set, is threaded into every RunCore query:
+// cpqbench -timeout (and the CPQ_TIMEOUT env knob) plumb a deadline
+// context through here, so a wall-clock budget covers the whole
+// experiment sweep and a stuck configuration cannot hang an unattended
+// run. Boxed because atomic.Pointer needs a concrete type.
+type ctxBox struct{ ctx context.Context }
+
+var defaultContext atomic.Pointer[ctxBox]
+
+// SetDefaultContext applies ctx to experiments run afterwards (nil
+// restores the non-cancellable context.Background()).
+func SetDefaultContext(ctx context.Context) {
+	if ctx == nil {
+		defaultContext.Store(nil)
+		return
+	}
+	defaultContext.Store(&ctxBox{ctx: ctx})
+}
+
+// defaultCtx resolves the context for one measured query.
+func defaultCtx() context.Context {
+	if b := defaultContext.Load(); b != nil {
+		return b.ctx
+	}
+	return context.Background()
+}
+
 // defaultTracer, when set, is attached to every RunCore query and to every
 // tree built afterwards (cache/evict events): cpqbench -trace plumbs
 // through here so all experiments of a run land in one JSONL stream.
@@ -371,7 +399,7 @@ func RunCore(ta, tb *rtree.Tree, k int, opts core.Options, bufferPages int) (cor
 	if opts.Metrics == nil {
 		opts.Metrics = defaultMetrics.Load()
 	}
-	_, stats, err := core.KClosestPairs(ta, tb, k, opts)
+	_, stats, err := core.KClosestPairsContext(defaultCtx(), ta, tb, k, opts)
 	if err == nil {
 		totQueries.Add(1)
 		totAccesses.Add(stats.Accesses())

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -20,7 +21,19 @@ var ErrEmptyInput = errors.New("core: closest pair query over an empty data set"
 //
 // The trees may use different page sizes, node capacities and heights; the
 // Options.Height strategy governs mismatched heights.
+//
+// KClosestPairs is the non-cancellable shim over KClosestPairsContext.
 func KClosestPairs(ta, tb *rtree.Tree, k int, opts Options) ([]Pair, Stats, error) {
+	return KClosestPairsContext(context.Background(), ta, tb, k, opts)
+}
+
+// KClosestPairsContext is KClosestPairs under a context: the traversal
+// polls ctx every cancelStride steps (parallel workers per claimed batch)
+// and returns ctx.Err() when it fires, with all buffer-pool pins released
+// and all workers joined. A query that completes without the context
+// firing returns results, counters and disk accesses byte-identical to
+// the context-free call.
+func KClosestPairsContext(ctx context.Context, ta, tb *rtree.Tree, k int, opts Options) ([]Pair, Stats, error) {
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
@@ -55,13 +68,16 @@ func KClosestPairs(ta, tb *rtree.Tree, k int, opts Options) ([]Pair, Stats, erro
 
 	root, err := j.rootPair()
 	if err == nil {
+		err = ctx.Err() // don't start a traversal under a dead context
+	}
+	if err == nil {
 		switch {
 		case opts.Algorithm == Heap && opts.workers() > 1:
-			err = j.runHeapParallel(root, opts.workers())
+			err = j.runHeapParallel(ctx, root, opts.workers())
 		case opts.Algorithm == Heap:
-			err = j.runHeap(root)
+			err = j.runHeap(ctx, root)
 		default:
-			err = j.runRecursive(root)
+			err = j.runRecursive(ctx, root)
 		}
 	}
 	if err != nil {
@@ -122,8 +138,16 @@ func queryLabel(opts Options, k int) string {
 
 // ClosestPair finds the single closest pair (the 1-CPQ of Section 2.1),
 // using the K = 1 specializations (Inequality 2 pruning) automatically.
+//
+// ClosestPair is the non-cancellable shim over ClosestPairContext.
 func ClosestPair(ta, tb *rtree.Tree, opts Options) (Pair, Stats, error) {
-	pairs, stats, err := KClosestPairs(ta, tb, 1, opts)
+	return ClosestPairContext(context.Background(), ta, tb, opts)
+}
+
+// ClosestPairContext is ClosestPair under a context; see
+// KClosestPairsContext for the cancellation contract.
+func ClosestPairContext(ctx context.Context, ta, tb *rtree.Tree, opts Options) (Pair, Stats, error) {
+	pairs, stats, err := KClosestPairsContext(ctx, ta, tb, 1, opts)
 	if err != nil {
 		return Pair{}, stats, err
 	}

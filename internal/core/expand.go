@@ -34,6 +34,10 @@ type join struct {
 	useTie               bool
 	mA, mB               float64 // minimum node occupancies as floats
 	metric               geom.Metric
+
+	// cancel is the stride-gated context poll the sequential drivers call
+	// once per traversal step (heap pop, recursive visit, range-join pop).
+	cancel cancelGate
 }
 
 func newJoin(ta, tb *rtree.Tree, k int, opts Options) (*join, error) {

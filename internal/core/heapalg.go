@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/obs"
+import (
+	"context"
+
+	"repro/internal/obs"
+)
 
 // pairHeap is the main structure of the Heap algorithm (Section 3.5): a
 // binary min-heap of node pairs ordered by ascending MINMINDIST, with the
@@ -84,7 +88,11 @@ const (
 // member is still re-checked against T before processing, so the result
 // set is unchanged (only the processing order, and with it the disk access
 // count, may deviate slightly from strict best-first).
-func (j *join) runHeap(root nodePair) error {
+//
+// Cancellation: the stride-gated poll runs once per dequeued pair, so a
+// cancelled context unwinds within cancelStride pairs regardless of
+// batching.
+func (j *join) runHeap(ctx context.Context, root nodePair) error {
 	h := &pairHeap{}
 	if root.minminSq <= j.T() {
 		h.push(root)
@@ -111,6 +119,12 @@ func (j *join) runHeap(root nodePair) error {
 			batch = append(batch[:0], h.pop())
 		}
 		for _, p := range batch {
+			// The poll sits in the per-pair loop (not only the outer heap
+			// loop) so cancellation latency is bounded in pairs processed,
+			// not in batches; the stride gate keeps it off the hot path.
+			if err := j.cancel.poll(ctx); err != nil {
+				return err
+			}
 			if p.minminSq > j.T() {
 				// T tightened while the batch was in flight; later batch
 				// members may still qualify, so skip rather than break.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -101,7 +102,13 @@ func (a *atomicMinFloat64) tighten(v float64) (old float64, ok bool) {
 // workers from the root pair. It fills j.kheap (the global K-heap) and the
 // shared atomic counters of j.stats; j.bound and the sequential T() are
 // not used.
-func (j *join) runHeapParallel(root nodePair, workers int) error {
+//
+// Cancellation: workers poll ctx.Err() in take (once per claimed batch and
+// per condition-variable wake), and a watcher goroutine turns the context
+// firing into a fail+broadcast so workers blocked in cond.Wait unwind
+// immediately. Everything spawned here is joined before returning — a
+// cancelled query leaks no goroutines.
+func (j *join) runHeapParallel(ctx context.Context, root nodePair, workers int) error {
 	s := &parHeap{j: j, timed: j.opts.Metrics != nil}
 	s.cond.L = &s.mu
 	s.bound.store(math.Inf(1))
@@ -118,10 +125,34 @@ func (j *join) runHeapParallel(root nodePair, workers int) error {
 		wg.Add(1)
 		go func(id int32) {
 			defer wg.Done()
-			s.work(id)
+			s.work(ctx, id)
 		}(int32(i))
 	}
+	// The watcher bridges the context's channel to the cond-based frontier:
+	// without it a cancellation would only be noticed at the next wake. A
+	// Background/TODO context has a nil Done channel and can never fire, so
+	// the bridge is skipped entirely on the non-cancellable path. It joins
+	// through its own WaitGroup because the stop channel can only close
+	// after the workers' wg.Wait has returned.
+	var stop chan struct{}
+	var watcher sync.WaitGroup
+	if ctx.Done() != nil {
+		stop = make(chan struct{})
+		watcher.Add(1)
+		go func() {
+			defer watcher.Done()
+			select {
+			case <-ctx.Done():
+				s.fail(ctx.Err())
+			case <-stop:
+			}
+		}()
+	}
 	wg.Wait()
+	if stop != nil {
+		close(stop)
+		watcher.Wait()
+	}
 	if s.timed {
 		if wall := time.Since(wallStart).Seconds(); wall > 0 {
 			util := float64(s.busyNanos.Load()) / 1e9 / (wall * float64(workers))
@@ -138,13 +169,17 @@ func (j *join) runHeapParallel(root nodePair, workers int) error {
 
 // work is one worker's loop: claim a batch of frontier pairs, process
 // them, merge local results when they can improve the global answer.
-func (s *parHeap) work(id int32) {
+// Cancellation is observed in take, once per claimed batch, and by a
+// worker-local stride-gated poll per processed pair, so a worker deep in
+// a large batch still stops promptly without touching shared state.
+func (s *parHeap) work(ctx context.Context, id int32) {
 	local := newKHeap(s.j.k)
 	localMin := math.Inf(1) // best accepted distance since the last merge
 	batch := make([]nodePair, 0, parBatch)
 	var subs []nodePair // reused expansion output; push copies into the frontier
+	var gate cancelGate // worker-local: no contention on the poll counter
 	for {
-		batch = s.take(batch[:0])
+		batch = s.take(ctx, batch[:0])
 		if len(batch) == 0 {
 			break
 		}
@@ -154,6 +189,10 @@ func (s *parHeap) work(id int32) {
 			t0 = time.Now()
 		}
 		for _, p := range batch {
+			if err := gate.poll(ctx); err != nil {
+				s.fail(err)
+				break
+			}
 			// T may have tightened since the pair was queued.
 			if p.minminSq > s.bound.load() {
 				continue
@@ -236,13 +275,19 @@ func (s *parHeap) process(p nodePair, local *kHeap, localMin *float64, subs *[]n
 
 // take claims up to parBatch pairs from the frontier, blocking while the
 // frontier is empty but other workers may still produce work. A nil return
-// means the run is over (frontier drained and all workers idle, or an
-// error was recorded). The claimed batch counts the worker as busy until
-// release.
-func (s *parHeap) take(dst []nodePair) []nodePair {
+// means the run is over (frontier drained and all workers idle, an error
+// was recorded, or the context fired). The claimed batch counts the worker
+// as busy until release. The ctx.Err poll runs once per batch claim and
+// per cond wake — a few loads per ~parBatch node expansions.
+func (s *parHeap) take(ctx context.Context, dst []nodePair) []nodePair {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
+		if s.err == nil {
+			if err := ctx.Err(); err != nil {
+				s.err = err
+			}
+		}
 		if s.err != nil {
 			return nil
 		}

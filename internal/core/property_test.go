@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -166,7 +167,7 @@ func TestBoundIsAlwaysSound(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := j.runHeap(root); err != nil {
+		if err := j.runHeap(context.Background(), root); err != nil {
 			t.Fatal(err)
 		}
 		res := j.results()

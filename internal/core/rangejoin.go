@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/rtree"
@@ -14,7 +15,15 @@ import (
 // (HEAP-style ordering is unnecessary since T never changes, so plain
 // stack order is used). Options contribute the metric and the height
 // strategy.
+//
+// WithinDistance is the non-cancellable shim over WithinDistanceContext.
 func WithinDistance(ta, tb *rtree.Tree, eps float64, opts Options, fn func(Pair) bool) (Stats, error) {
+	return WithinDistanceContext(context.Background(), ta, tb, eps, opts, fn)
+}
+
+// WithinDistanceContext is WithinDistance under a context; see
+// KClosestPairsContext for the cancellation contract.
+func WithinDistanceContext(ctx context.Context, ta, tb *rtree.Tree, eps float64, opts Options, fn func(Pair) bool) (Stats, error) {
 	if err := opts.validate(); err != nil {
 		return Stats{}, err
 	}
@@ -39,6 +48,9 @@ func WithinDistance(ta, tb *rtree.Tree, eps float64, opts Options, fn func(Pair)
 	stack := []nodePair{root}
 	stopped := false
 	for len(stack) > 0 && !stopped {
+		if err := j.cancel.poll(ctx); err != nil {
+			return Stats{}, err
+		}
 		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if p.minminSq > epsKey {

@@ -1,13 +1,20 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/obs"
 	"repro/internal/sortx"
 )
 
 // runRecursive drives the four recursive algorithms (Naive, EXH, SIM, STD)
-// from the given node pair.
-func (j *join) runRecursive(p nodePair) error {
+// from the given node pair. Each visit polls the cancellation gate once,
+// which also makes runRecursive itself a cancellation point for its own
+// sub-pair loop below.
+func (j *join) runRecursive(ctx context.Context, p nodePair) error {
+	if err := j.cancel.poll(ctx); err != nil {
+		return err
+	}
 	if j.prunes() && p.minminSq > j.T() {
 		j.stats.subPairsPruned.Add(1)
 		return nil
@@ -34,7 +41,7 @@ func (j *join) runRecursive(p nodePair) error {
 	}
 	for _, sp := range subs {
 		// T keeps shrinking while the loop runs; runRecursive re-checks.
-		if err := j.runRecursive(sp); err != nil {
+		if err := j.runRecursive(ctx, sp); err != nil {
 			return err
 		}
 	}

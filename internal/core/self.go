@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,7 +20,16 @@ import (
 // of distinct nodes to all child combinations, so every unordered point
 // pair is considered exactly once. A self join is by definition fully
 // overlapping, the regime where the paper found HEAP strongest.
+//
+// SelfKClosestPairs is the non-cancellable shim over
+// SelfKClosestPairsContext.
 func SelfKClosestPairs(t *rtree.Tree, k int, opts Options) ([]Pair, Stats, error) {
+	return SelfKClosestPairsContext(context.Background(), t, k, opts)
+}
+
+// SelfKClosestPairsContext is SelfKClosestPairs under a context; see
+// KClosestPairsContext for the cancellation contract.
+func SelfKClosestPairsContext(ctx context.Context, t *rtree.Tree, k int, opts Options) ([]Pair, Stats, error) {
 	if k <= 0 {
 		return nil, Stats{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
@@ -44,7 +54,7 @@ func SelfKClosestPairs(t *rtree.Tree, k int, opts Options) ([]Pair, Stats, error
 		return nil, Stats{}, err
 	}
 	s.rootArea = rootRect.Area()
-	if err := s.run(rootRect); err != nil {
+	if err := s.run(ctx, rootRect); err != nil {
 		return nil, Stats{}, err
 	}
 	s.stats.IOP = t.Pool().Stats().Sub(start)
@@ -53,8 +63,16 @@ func SelfKClosestPairs(t *rtree.Tree, k int, opts Options) ([]Pair, Stats, error
 
 // SelfClosestPair returns the single closest pair of distinct points
 // within one tree.
+//
+// SelfClosestPair is the non-cancellable shim over SelfClosestPairContext.
 func SelfClosestPair(t *rtree.Tree, opts Options) (Pair, Stats, error) {
-	pairs, stats, err := SelfKClosestPairs(t, 1, opts)
+	return SelfClosestPairContext(context.Background(), t, opts)
+}
+
+// SelfClosestPairContext is SelfClosestPair under a context; see
+// KClosestPairsContext for the cancellation contract.
+func SelfClosestPairContext(ctx context.Context, t *rtree.Tree, opts Options) (Pair, Stats, error) {
+	pairs, stats, err := SelfKClosestPairsContext(ctx, t, 1, opts)
 	if err != nil {
 		return Pair{}, stats, err
 	}
@@ -71,11 +89,12 @@ type selfJoin struct {
 	rootArea float64
 	m        float64
 	metric   geom.Metric
+	cancel   cancelGate
 }
 
 func (s *selfJoin) T() float64 { return math.Min(s.kheap.threshold(), s.bound) }
 
-func (s *selfJoin) run(rootRect geom.Rect) error {
+func (s *selfJoin) run(ctx context.Context, rootRect geom.Rect) error {
 	h := &pairHeap{}
 	h.push(nodePair{
 		a: s.t.RootID(), b: s.t.RootID(),
@@ -83,6 +102,9 @@ func (s *selfJoin) run(rootRect geom.Rect) error {
 		la: s.t.Height() - 1, lb: s.t.Height() - 1,
 	})
 	for h.Len() > 0 {
+		if err := s.cancel.poll(ctx); err != nil {
+			return err
+		}
 		if h.Len() > s.stats.MaxQueueSize {
 			s.stats.MaxQueueSize = h.Len()
 		}

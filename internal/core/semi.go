@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -16,7 +17,18 @@ import (
 // The implementation iterates the P-tree's leaves and runs a best-first
 // nearest-neighbor search on the Q-tree per point; disk accesses on both
 // trees are reported in the stats as usual.
+//
+// SemiClosestPairs is the non-cancellable shim over
+// SemiClosestPairsContext.
 func SemiClosestPairs(ta, tb *rtree.Tree, opts Options) ([]Pair, Stats, error) {
+	return SemiClosestPairsContext(context.Background(), ta, tb, opts)
+}
+
+// SemiClosestPairsContext is SemiClosestPairs under a context: the
+// per-point callback checks ctx before each nearest-neighbor search (each
+// search is many node reads, so no stride gating is needed) and stops the
+// leaf iteration with ctx.Err() when it fires.
+func SemiClosestPairsContext(ctx context.Context, ta, tb *rtree.Tree, opts Options) ([]Pair, Stats, error) {
 	if err := opts.validate(); err != nil {
 		return nil, Stats{}, err
 	}
@@ -30,6 +42,10 @@ func SemiClosestPairs(ta, tb *rtree.Tree, opts Options) ([]Pair, Stats, error) {
 	out := make([]Pair, 0, ta.Len())
 	var innerErr error
 	err := ta.All(func(it rtree.Item) bool {
+		if cerr := ctx.Err(); cerr != nil {
+			innerErr = cerr
+			return false
+		}
 		p := it.Rect.Center()
 		nns, err := tb.NearestNeighborsMetric(p, 1, opts.Metric)
 		if err == nil && len(nns) == 0 {

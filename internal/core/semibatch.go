@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
@@ -19,7 +20,16 @@ import (
 // distance. On clustered data this shares most Q-node reads among the
 // ~M points of a P leaf, cutting disk accesses substantially (see the
 // "semi" benchmark for the comparison).
+//
+// SemiClosestPairsBatched is the non-cancellable shim over
+// SemiClosestPairsBatchedContext.
 func SemiClosestPairsBatched(ta, tb *rtree.Tree, opts Options) ([]Pair, Stats, error) {
+	return SemiClosestPairsBatchedContext(context.Background(), ta, tb, opts)
+}
+
+// SemiClosestPairsBatchedContext is SemiClosestPairsBatched under a
+// context; see KClosestPairsContext for the cancellation contract.
+func SemiClosestPairsBatchedContext(ctx context.Context, ta, tb *rtree.Tree, opts Options) ([]Pair, Stats, error) {
 	if err := opts.validate(); err != nil {
 		return nil, Stats{}, err
 	}
@@ -31,7 +41,7 @@ func SemiClosestPairsBatched(ta, tb *rtree.Tree, opts Options) ([]Pair, Stats, e
 
 	s := &semiBatch{tb: tb, metric: opts.Metric}
 	out := make([]Pair, 0, ta.Len())
-	if err := s.walkLeaves(ta, ta.RootID(), &out); err != nil {
+	if err := s.walkLeaves(ctx, ta, ta.RootID(), &out); err != nil {
 		return nil, Stats{}, err
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -53,19 +63,25 @@ type semiBatch struct {
 	tb     *rtree.Tree
 	metric geom.Metric
 	stats  Stats
+	cancel cancelGate
 }
 
-// walkLeaves visits every leaf of the P-tree in depth-first order.
-func (s *semiBatch) walkLeaves(ta *rtree.Tree, id storage.PageID, out *[]Pair) error {
+// walkLeaves visits every leaf of the P-tree in depth-first order. The
+// poll at the top makes each visit a cancellation point, covering both
+// the child loop below and resolveLeaf's best-first loop.
+func (s *semiBatch) walkLeaves(ctx context.Context, ta *rtree.Tree, id storage.PageID, out *[]Pair) error {
+	if err := s.cancel.poll(ctx); err != nil {
+		return err
+	}
 	n, err := ta.ReadNode(id)
 	if err != nil {
 		return err
 	}
 	if n.IsLeaf() {
-		return s.resolveLeaf(n, out)
+		return s.resolveLeaf(ctx, n, out)
 	}
 	for i := range n.Entries {
-		if err := s.walkLeaves(ta, n.Entries[i].Child(), out); err != nil {
+		if err := s.walkLeaves(ctx, ta, n.Entries[i].Child(), out); err != nil {
 			return err
 		}
 	}
@@ -95,7 +111,7 @@ func (q *batchQueue) Pop() interface{} {
 
 // resolveLeaf finds the Q-nearest neighbor of every point in one P leaf
 // with a single best-first search over the Q-tree.
-func (s *semiBatch) resolveLeaf(leaf *rtree.Node, out *[]Pair) error {
+func (s *semiBatch) resolveLeaf(ctx context.Context, leaf *rtree.Node, out *[]Pair) error {
 	pts := make([]geom.Point, len(leaf.Entries))
 	refs := make([]int64, len(leaf.Entries))
 	bestKey := make([]float64, len(leaf.Entries))
@@ -122,6 +138,9 @@ func (s *semiBatch) resolveLeaf(leaf *rtree.Node, out *[]Pair) error {
 
 	pq := &batchQueue{{key: 0, page: s.tb.RootID()}}
 	for pq.Len() > 0 {
+		if err := s.cancel.poll(ctx); err != nil {
+			return err
+		}
 		it := heap.Pop(pq).(batchItem)
 		if it.key > worst() {
 			break

@@ -81,7 +81,7 @@ func (c *BufferDiscipline) Name() string { return "bufferdiscipline" }
 
 // Run implements Check.
 func (c *BufferDiscipline) Run(prog *Program) []Diagnostic {
-	g := buildCallgraph(prog)
+	g := prog.Callgraph()
 	reach := g.reachableFromGo()
 	var diags []Diagnostic
 	for node, spawn := range reach {

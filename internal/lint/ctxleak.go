@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CtxLeak enforces goroutine hygiene under cancellation (ctxflow rule 3,
+// DESIGN.md §11): a goroutine spawned by the engine must either select on
+// the context's Done channel — transitively, via the waitsDone summary —
+// or be provably joined by its spawner before the spawning function
+// returns. A goroutine with neither property outlives a cancelled query:
+// it holds buffer pages, heap memory and a scheduler slot for work whose
+// result nobody will read, and a caller issuing queries in a loop
+// accumulates them without bound.
+//
+// "Provably joined" is deliberately syntactic: the spawning function's
+// own body must call Wait on a sync.WaitGroup. That matches the engine's
+// two spawn sites (workers joined on one WaitGroup, the cancellation
+// watcher on another) and every mainstream join idiom; handing the
+// WaitGroup to a helper to wait on is exotic enough to deserve the
+// //lint:ignore it would need.
+type CtxLeak struct {
+	// Scopes are import-path fragments for the packages whose go
+	// statements are checked.
+	Scopes []string
+}
+
+// NewCtxLeak returns the check configured for the join engine.
+func NewCtxLeak() *CtxLeak {
+	return &CtxLeak{Scopes: []string{"internal/core"}}
+}
+
+// Name implements Check.
+func (c *CtxLeak) Name() string { return "ctxleak" }
+
+// Run implements Check.
+func (c *CtxLeak) Run(prog *Program) []Diagnostic {
+	facts := newCtxFacts(prog)
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		if !pathInScope(pkg.ImportPath, c.Scopes) {
+			continue
+		}
+		for _, fs := range funcsOf(prog, pkg) {
+			diags = append(diags, c.checkFunc(prog, facts, fs)...)
+		}
+	}
+	return diags
+}
+
+func (c *CtxLeak) checkFunc(prog *Program, facts *ctxFacts, fs FuncSource) []Diagnostic {
+	info := fs.Pkg.Info
+	var goStmts []*ast.GoStmt
+	bodyInspect(fs.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			goStmts = append(goStmts, g)
+		}
+		return true
+	})
+	if len(goStmts) == 0 {
+		return nil
+	}
+	joined := bodyWaits(info, fs.Body)
+	var diags []Diagnostic
+	for _, stmt := range goStmts {
+		if joined || c.spawnWaitsDone(facts, stmt) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   prog.position(stmt.Go),
+			Check: c.Name(),
+			Message: fmt.Sprintf(
+				"goroutine spawned by %s neither selects on ctx.Done() nor is joined by its spawner; it outlives a cancelled query",
+				fs.Name),
+		})
+	}
+	return diags
+}
+
+// spawnWaitsDone reports whether every resolved target of the go
+// statement carries the waitsDone summary. The targets come from the
+// callgraph's root resolution (literal, direct callee, or the reaching
+// definitions of a spawned function variable); an unresolvable spawn has
+// no targets and is flagged — a spawn the analysis cannot see through is
+// a spawn it cannot clear.
+func (c *CtxLeak) spawnWaitsDone(facts *ctxFacts, stmt *ast.GoStmt) bool {
+	found := false
+	for _, r := range facts.g.roots {
+		if r.pos != stmt.Go {
+			continue
+		}
+		found = true
+		if !facts.waitsDone[r.node] {
+			return false
+		}
+	}
+	return found
+}
+
+// bodyWaits reports whether the function body itself calls Wait on a
+// sync.WaitGroup.
+func bodyWaits(info *types.Info, body *ast.BlockStmt) bool {
+	waits := false
+	bodyInspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Wait" {
+			return true
+		}
+		if named := namedOf(info.TypeOf(sel.X)); named != nil {
+			obj := named.Obj()
+			if obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+				waits = true
+				return false
+			}
+		}
+		return true
+	})
+	return waits
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CtxProp enforces context propagation through the query entry points and
+// join drivers (ctxflow rule 1, DESIGN.md §11): a cancellable call chain
+// must stay cancellable. Three rules, applied to every function of the
+// public package and the core engine:
+//
+//  1. A function that accepts a context.Context must not sever the chain
+//     by passing context.Background()/context.TODO() to a callee that
+//     accepts one — the caller's context is right there.
+//  2. A function without a context parameter may call a context-accepting
+//     callee with context.Background()/TODO() only as a delegating shim:
+//     a single return statement forwarding to its own "<name>Context"
+//     variant. That is exactly the compatibility surface the API keeps;
+//     anywhere else, a Background call is an entry point dropping
+//     cancellation.
+//  3. A context parameter must be used — passed on or polled. An ignored
+//     ctx is threading rot: the signature promises cancellation the body
+//     does not deliver.
+//
+// The rules are syntactic about the severing call (only a literal
+// context.Background()/TODO() argument is flagged; a context variable is
+// trusted to be derived from the caller's) and callgraph-resolved about
+// the callee, which keeps them precise on the engine's direct call
+// style.
+type CtxProp struct {
+	// Scopes are import-path fragments for the checked packages; the
+	// module root package is always in scope.
+	Scopes []string
+}
+
+// NewCtxProp returns the check configured for the public API and the
+// core engine.
+func NewCtxProp() *CtxProp {
+	return &CtxProp{Scopes: []string{"internal/core"}}
+}
+
+// Name implements Check.
+func (c *CtxProp) Name() string { return "ctxprop" }
+
+// Run implements Check.
+func (c *CtxProp) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		if pkg.ImportPath != prog.Module.Path && !pathInScope(pkg.ImportPath, c.Scopes) {
+			continue
+		}
+		for _, fs := range funcsOf(prog, pkg) {
+			diags = append(diags, c.checkFunc(prog, pkg, fs)...)
+		}
+	}
+	return diags
+}
+
+func (c *CtxProp) checkFunc(prog *Program, pkg *Package, fs FuncSource) []Diagnostic {
+	info := pkg.Info
+	ctxParams := ctxParamVars(info, fs)
+	var diags []Diagnostic
+
+	// Rules 1 and 2: Background/TODO flowing into a context-accepting
+	// callee. Shallow walk — a nested literal is its own FuncSource.
+	bodyInspect(fs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := staticCallee(info, call)
+		if callee == nil {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		idx := ctxParamIndex(sig)
+		if idx < 0 || idx >= len(call.Args) {
+			return true
+		}
+		dead := deadContextCall(info, call.Args[idx])
+		if dead == "" {
+			return true
+		}
+		if len(ctxParams) > 0 {
+			diags = append(diags, Diagnostic{
+				Pos:   prog.position(call.Lparen),
+				Check: c.Name(),
+				Message: fmt.Sprintf(
+					"%s accepts a context.Context but passes %s to %s; thread the caller's context through",
+					fs.Name, dead, funcLabel(callee)),
+			})
+			return true
+		}
+		if c.isShim(fs, callee) {
+			return true
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   prog.position(call.Lparen),
+			Check: c.Name(),
+			Message: fmt.Sprintf(
+				"%s calls %s with %s outside a *Context delegating shim; accept a context.Context and pass it through",
+				fs.Name, funcLabel(callee), dead),
+		})
+		return true
+	})
+
+	// Rule 3: every context parameter must be used somewhere in the body,
+	// nested literals included (a capture propagates it just fine).
+	for _, p := range ctxParams {
+		used := false
+		ast.Inspect(fs.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == p.obj {
+				used = true
+			}
+			return !used
+		})
+		if !used {
+			diags = append(diags, Diagnostic{
+				Pos:   prog.position(p.pos.Pos()),
+				Check: c.Name(),
+				Message: fmt.Sprintf(
+					"%s accepts context parameter %q but never uses it; pass it to callees or poll it",
+					fs.Name, p.obj.Name()),
+			})
+		}
+	}
+	return diags
+}
+
+// ctxParam is one context.Context parameter of a function.
+type ctxParam struct {
+	obj types.Object
+	pos ast.Node
+}
+
+// ctxParamVars collects the context parameters of a declared function or
+// literal. Unnamed and blank parameters are skipped: they cannot be used
+// by construction, and an explicit `_ context.Context` is the idiom for
+// intentionally satisfying an interface, not rot.
+func ctxParamVars(info *types.Info, fs FuncSource) []ctxParam {
+	var ft *ast.FuncType
+	switch d := fs.Decl.(type) {
+	case *ast.FuncDecl:
+		ft = d.Type
+	case *ast.FuncLit:
+		ft = d.Type
+	default:
+		return nil
+	}
+	var out []ctxParam
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj == nil || !isContextType(obj.Type()) {
+				continue
+			}
+			out = append(out, ctxParam{obj: obj, pos: name})
+		}
+	}
+	return out
+}
+
+// isShim recognizes the allowlisted compatibility shims: a declared
+// function whose entire body is one return statement delegating to its
+// own "<name>Context" variant.
+func (c *CtxProp) isShim(fs FuncSource, callee *types.Func) bool {
+	fd, ok := fs.Decl.(*ast.FuncDecl)
+	if !ok {
+		return false
+	}
+	if len(fs.Body.List) != 1 {
+		return false
+	}
+	if _, ok := fs.Body.List[0].(*ast.ReturnStmt); !ok {
+		return false
+	}
+	return callee.Name() == fd.Name.Name+"Context"
+}

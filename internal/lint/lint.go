@@ -36,6 +36,20 @@
 //   - deferinloop: a deferred Close/Put inside a loop releases nothing
 //     until function return and so pins the whole traversal's resources.
 //
+// The ctxflow pass (three checks sharing interprocedural summaries over
+// the callgraph; DESIGN.md §11) guards the cancellation contract:
+//
+//   - ctxprop: query entry points and join drivers must accept a
+//     context.Context and thread it through — context.Background() is
+//     allowed only in the recognized *Context delegating shims.
+//   - cancelpoll: every potentially unbounded driver loop (frontier
+//     expansion, heap pops, storage I/O) must poll the context on some
+//     path, directly or via a summarized cancellation point such as the
+//     stride-gated cancelGate.poll; gates coarser than the allowance are
+//     flagged.
+//   - ctxleak: a spawned goroutine must select on ctx.Done() or be
+//     joined by its spawner, so cancelled queries leak nothing.
+//
 // A finding can be suppressed by the line comment
 //
 //	//lint:ignore <check> <reason>
@@ -54,6 +68,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding of one check.
@@ -94,18 +109,59 @@ func Checks() []Check {
 		NewBoundMono(),
 		NewDeferInLoop(),
 		NewObsHooks(),
+		NewCtxProp(),
+		NewCancelPoll(),
+		NewCtxLeak(),
 	}
+}
+
+// CheckGroups maps group aliases to the check names they expand to; the
+// cpqlint -checks flag accepts a group name wherever it accepts a check
+// name. "ctxflow" is the cancellation-correctness pass of DESIGN.md §11.
+func CheckGroups() map[string][]string {
+	return map[string][]string{
+		"ctxflow": {"ctxprop", "cancelpoll", "ctxleak"},
+	}
+}
+
+// CheckTiming is the wall-clock cost of one check during a
+// RunWithTimings pass.
+type CheckTiming struct {
+	// Name is the check's name.
+	Name string
+	// Elapsed is the check's own Run time (loading and suppression
+	// filtering are shared and not attributed).
+	Elapsed time.Duration
 }
 
 // Run executes the checks over prog, applies //lint:ignore suppressions
 // and returns the surviving diagnostics sorted by position.
 func Run(prog *Program, checks []Check) []Diagnostic {
+	diags, _ := RunWithTimings(prog, checks)
+	return diags
+}
+
+// RunWithTimings is Run plus a per-check wall-clock breakdown, for the
+// cpqlint -timing flag and the lint benchmark. The typed load, the
+// callgraph and the per-function IR are memoized on prog, so the first
+// check that needs a shared artifact pays for it and the rest ride along
+// — the timings show exactly that.
+func RunWithTimings(prog *Program, checks []Check) ([]Diagnostic, []CheckTiming) {
 	var diags []Diagnostic
+	timings := make([]CheckTiming, 0, len(checks))
 	for _, c := range checks {
+		start := time.Now()
 		diags = append(diags, c.Run(prog)...)
+		timings = append(timings, CheckTiming{Name: c.Name(), Elapsed: time.Since(start)})
 	}
+	// A directive may name any check of the full registry, not only the
+	// selected subset — running `-checks ctxflow` must not turn every
+	// sqrtfree suppression in the tree into an "unknown check" finding.
 	known := make(map[string]bool, len(checks))
 	for _, c := range checks {
+		known[c.Name()] = true
+	}
+	for _, c := range Checks() {
 		known[c.Name()] = true
 	}
 	diags = applyIgnores(prog, known, diags)
@@ -122,7 +178,7 @@ func Run(prog *Program, checks []Check) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return diags
+	return diags, timings
 }
 
 // ignoreKey identifies the scope of one suppression directive: a check

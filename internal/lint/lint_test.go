@@ -54,6 +54,9 @@ func TestGolden(t *testing.T) {
 		{lint.NewBoundMono(), []string{"internal/lint/testdata/src/boundmono/internal/core/engine"}},
 		{lint.NewDeferInLoop(), []string{"internal/lint/testdata/src/deferinloop/internal/rtree/walk"}},
 		{lint.NewObsHooks(), []string{"internal/lint/testdata/src/obshooks/internal/core/trace"}},
+		{lint.NewCtxProp(), []string{"internal/lint/testdata/ctxflow/ctxprop/internal/core/driver"}},
+		{lint.NewCancelPoll(), []string{"internal/lint/testdata/ctxflow/cancelpoll/..."}},
+		{lint.NewCtxLeak(), []string{"internal/lint/testdata/ctxflow/ctxleak/internal/core/engine"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check.Name(), func(t *testing.T) {
@@ -97,6 +100,9 @@ func TestFixturesFindSomething(t *testing.T) {
 		{lint.NewBoundMono(), []string{"internal/lint/testdata/src/boundmono/internal/core/engine"}},
 		{lint.NewDeferInLoop(), []string{"internal/lint/testdata/src/deferinloop/internal/rtree/walk"}},
 		{lint.NewObsHooks(), []string{"internal/lint/testdata/src/obshooks/internal/core/trace"}},
+		{lint.NewCtxProp(), []string{"internal/lint/testdata/ctxflow/ctxprop/internal/core/driver"}},
+		{lint.NewCancelPoll(), []string{"internal/lint/testdata/ctxflow/cancelpoll/..."}},
+		{lint.NewCtxLeak(), []string{"internal/lint/testdata/ctxflow/ctxleak/internal/core/engine"}},
 	}
 	for _, tc := range cases {
 		found := false
@@ -203,4 +209,36 @@ func TestRealRepoCoverage(t *testing.T) {
 			t.Errorf("package %s loaded without types or files", pkg.ImportPath)
 		}
 	}
+}
+
+// BenchmarkLintRepo measures the full production pass over the real
+// module, with the typed load hoisted out of the loop: what remains is
+// the checks themselves sharing the memoized callgraph and IR, which is
+// exactly what `cpqlint -timing` attributes per check.
+func BenchmarkLintRepo(b *testing.B) {
+	mod, err := lint.FindModule(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := lint.Load(mod.Dir, "./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(prog.Failed) > 0 {
+		b.Fatalf("load failures: %v", prog.Failed)
+	}
+	checks := lint.Checks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lint.Run(prog, checks)
+	}
+	b.StopTimer()
+
+	b.Run("load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lint.Load(mod.Dir, "./..."); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

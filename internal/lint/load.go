@@ -54,9 +54,22 @@ type Program struct {
 	Failed []LoadError
 
 	// ir memoizes the SSA-lite CFG per function body, and reach the
-	// reaching-definitions solution per CFG (see ir.go).
+	// reaching-definitions solution per CFG (see ir.go). cg memoizes the
+	// callgraph so every check shares one build (see Callgraph).
 	ir    map[*ast.BlockStmt]*ssa.Func
 	reach map[*ssa.Func]*ssa.Reaching
+	cg    *callgraph
+}
+
+// Callgraph returns the program's callgraph-lite, building and memoizing
+// it on first use: the typed load is already shared across checks through
+// this Program, and the callgraph — the next most expensive artifact —
+// is shared the same way.
+func (p *Program) Callgraph() *callgraph {
+	if p.cg == nil {
+		p.cg = buildCallgraph(p)
+	}
+	return p.cg
 }
 
 // LoadError is one package that failed to load.

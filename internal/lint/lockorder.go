@@ -54,7 +54,7 @@ type lockEdge struct {
 
 // Run implements Check.
 func (c *LockOrder) Run(prog *Program) []Diagnostic {
-	g := buildCallgraph(prog)
+	g := prog.Callgraph()
 
 	// Phase 1: per-function held-set analysis. Records direct ordering
 	// edges, per-function acquisition summaries, and call sites made

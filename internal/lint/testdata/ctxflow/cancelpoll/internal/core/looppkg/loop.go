@@ -1,0 +1,143 @@
+// Package looppkg is the cancelpoll fixture: loops that reach I/O with
+// and without polls, stride gates at and beyond the allowance, an exempt
+// heap container and a suppressed finding.
+package looppkg
+
+import (
+	"context"
+
+	"repro/internal/lint/testdata/ctxflow/cancelpoll/internal/storage/fakeio"
+)
+
+const stride = 1024
+
+// gate mirrors the engine's stride-gated poll: the masked counter keeps
+// the context untouched on all but every stride-th call.
+type gate struct{ steps uint32 }
+
+func (g *gate) poll(ctx context.Context) error {
+	g.steps++
+	if g.steps&(stride-1) != 0 {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// coarseGate polls once per 2^20 steps — beyond the allowance.
+type coarseGate struct{ steps uint32 }
+
+func (g *coarseGate) poll(ctx context.Context) error {
+	g.steps++
+	if g.steps&(1<<20-1) != 0 {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// drainNoPoll reaches I/O every iteration and never polls: flagged.
+func drainNoPoll(s *fakeio.Store, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(s.ReadPage(i))
+	}
+	return total
+}
+
+// drainPolled polls the context inline every iteration. Clean.
+func drainPolled(ctx context.Context, s *fakeio.Store, n int) (int, error) {
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		total += len(s.ReadPage(i))
+	}
+	return total, nil
+}
+
+// drainGated polls through the summarized stride-gated canceller. Clean.
+func drainGated(ctx context.Context, s *fakeio.Store, n int) (int, error) {
+	var g gate
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := g.poll(ctx); err != nil {
+			return total, err
+		}
+		total += len(s.ReadPage(i))
+	}
+	return total, nil
+}
+
+// drainCoarse polls, but only every 2^20 iterations: stride finding.
+func drainCoarse(ctx context.Context, s *fakeio.Store, n int) (int, error) {
+	var g coarseGate
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := g.poll(ctx); err != nil {
+			return total, err
+		}
+		total += len(s.ReadPage(i))
+	}
+	return total, nil
+}
+
+// pairHeap matches the check's exempt receivers: container internals are
+// bounded by the container, so drainAll below is not flagged despite the
+// unpolled loop reaching I/O.
+type pairHeap struct{ items []int }
+
+func (h *pairHeap) pop() int {
+	it := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return it
+}
+
+func (h *pairHeap) drainAll(s *fakeio.Store) int {
+	total := 0
+	for len(h.items) > 0 {
+		total += len(s.ReadPage(h.pop()))
+	}
+	return total
+}
+
+// drainHeap pops the heap from a non-exempt function — hot by callee
+// name, no I/O needed — and polls. Clean.
+func drainHeap(ctx context.Context, h *pairHeap) int {
+	total := 0
+	for len(h.items) > 0 {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += h.pop()
+	}
+	return total
+}
+
+// drainHeapNoPoll is drainHeap without the poll: flagged via the hot
+// callee name alone.
+func drainHeapNoPoll(h *pairHeap) int {
+	total := 0
+	for len(h.items) > 0 {
+		total += h.pop()
+	}
+	return total
+}
+
+// sum is a pure bounded loop: no hot calls, no I/O, never flagged.
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// drainSuppressed is drainNoPoll under an explicit directive. Clean.
+func drainSuppressed(s *fakeio.Store, n int) int {
+	total := 0
+	//lint:ignore cancelpoll fixture: bounded by the caller's contract
+	for i := 0; i < n; i++ {
+		total += len(s.ReadPage(i))
+	}
+	return total
+}

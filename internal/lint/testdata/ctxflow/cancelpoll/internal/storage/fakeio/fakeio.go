@@ -1,0 +1,15 @@
+// Package fakeio stands in for the storage layer in the cancelpoll
+// fixtures: its import path matches the check's IOScopes, so calls into
+// it classify a loop as potentially unbounded.
+package fakeio
+
+// Store is a stand-in page source.
+type Store struct {
+	calls int
+}
+
+// ReadPage pretends to read a page.
+func (s *Store) ReadPage(id int) []byte {
+	s.calls++
+	return nil
+}

@@ -1,0 +1,70 @@
+// Package engine is the ctxleak fixture: goroutines that leak, that are
+// joined by their spawner, that watch ctx.Done directly and through a
+// helper, and one suppressed leak.
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// leak spawns a goroutine that neither watches Done nor is joined:
+// flagged.
+func leak(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// joined spawns and waits on a WaitGroup before returning. Clean.
+func joined(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := range ch {
+			_ = v
+		}
+	}()
+	wg.Wait()
+}
+
+// watched spawns a goroutine that selects on ctx.Done. Clean.
+func watched(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v, ok := <-ch:
+				if !ok {
+					return
+				}
+				_ = v
+			}
+		}
+	}()
+}
+
+// waitDone blocks until the context is cancelled.
+func waitDone(ctx context.Context) { <-ctx.Done() }
+
+// watchedIndirect's goroutine reaches Done through a callee — the
+// waitsDone summary clears it. Clean.
+func watchedIndirect(ctx context.Context) {
+	go func() {
+		waitDone(ctx)
+	}()
+}
+
+// suppressedLeak is a fire-and-forget goroutine under an explicit
+// directive. Clean.
+func suppressedLeak(ch chan int) {
+	//lint:ignore ctxleak fixture: fire-and-forget by design
+	go func() {
+		for range ch {
+		}
+	}()
+}

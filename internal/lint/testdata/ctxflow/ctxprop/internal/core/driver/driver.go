@@ -1,0 +1,58 @@
+// Package driver is the ctxprop fixture: entry points that thread,
+// sever, shim and ignore a context, covering every rule of the check.
+package driver
+
+import "context"
+
+// queryContext is the cancellable variant every other function here
+// delegates to; it polls, so the chain is genuinely cancellable.
+func queryContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// query is the recognized delegating shim: one return statement
+// forwarding to its own Context variant. Clean.
+func query(n int) error {
+	return queryContext(context.Background(), n)
+}
+
+// runContext accepts a context and then severs it: rule 1.
+func runContext(ctx context.Context, n int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return queryContext(context.Background(), n)
+}
+
+// dropsCtx calls with Background outside a shim (the body is more than a
+// delegating return): rule 2.
+func dropsCtx(n int) error {
+	err := queryContext(context.Background(), n)
+	return err
+}
+
+// entryNoCtx delegates to a differently named callee, so the shim
+// allowlist does not apply: rule 2.
+func entryNoCtx(n int) error {
+	return queryContext(context.TODO(), n)
+}
+
+// unused accepts a context and never touches it: rule 3.
+func unused(ctx context.Context, n int) int {
+	return n * 2
+}
+
+// suppressed severs the chain under an explicit directive. Clean.
+func suppressed(n int) error {
+	var total int
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	//lint:ignore ctxprop fixture: intentionally severed for the suppression test
+	return queryContext(context.TODO(), total)
+}

@@ -1,6 +1,8 @@
 package cpq
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/incremental"
@@ -216,43 +218,87 @@ func buildOptions(opts []QueryOption) core.Options {
 }
 
 // ClosestPair returns the closest pair between the two indexed point sets
-// (the paper's 1-CPQ).
+// (the paper's 1-CPQ). It is the non-cancellable shim over
+// ClosestPairContext.
 func ClosestPair(p, q *Index, opts ...QueryOption) (Pair, Stats, error) {
-	return core.ClosestPair(p.tree, q.tree, buildOptions(opts))
+	return ClosestPairContext(context.Background(), p, q, opts...)
+}
+
+// ClosestPairContext is ClosestPair under a context: a deadline or cancel
+// interrupts the traversal within a bounded number of steps, releases all
+// buffer-pool pins, joins all worker goroutines and returns ctx.Err().
+// When the context never fires the results, paper counters and disk
+// accesses are identical to the context-free call.
+func ClosestPairContext(ctx context.Context, p, q *Index, opts ...QueryOption) (Pair, Stats, error) {
+	return core.ClosestPairContext(ctx, p.tree, q.tree, buildOptions(opts))
 }
 
 // KClosestPairs returns the k closest pairs between the two indexed point
 // sets in ascending distance order (the paper's K-CPQ). If fewer than k
-// pairs exist, all are returned.
+// pairs exist, all are returned. It is the non-cancellable shim over
+// KClosestPairsContext.
 func KClosestPairs(p, q *Index, k int, opts ...QueryOption) ([]Pair, Stats, error) {
-	return core.KClosestPairs(p.tree, q.tree, k, buildOptions(opts))
+	return KClosestPairsContext(context.Background(), p, q, k, opts...)
+}
+
+// KClosestPairsContext is KClosestPairs under a context; see
+// ClosestPairContext for the cancellation contract.
+func KClosestPairsContext(ctx context.Context, p, q *Index, k int, opts ...QueryOption) ([]Pair, Stats, error) {
+	return core.KClosestPairsContext(ctx, p.tree, q.tree, k, buildOptions(opts))
 }
 
 // SelfClosestPair returns the closest pair of distinct points within one
-// index (the paper's self-CPQ future-work variant).
+// index (the paper's self-CPQ future-work variant). It is the
+// non-cancellable shim over SelfClosestPairContext.
 func SelfClosestPair(p *Index, opts ...QueryOption) (Pair, Stats, error) {
-	return core.SelfClosestPair(p.tree, buildOptions(opts))
+	return SelfClosestPairContext(context.Background(), p, opts...)
+}
+
+// SelfClosestPairContext is SelfClosestPair under a context; see
+// ClosestPairContext for the cancellation contract.
+func SelfClosestPairContext(ctx context.Context, p *Index, opts ...QueryOption) (Pair, Stats, error) {
+	return core.SelfClosestPairContext(ctx, p.tree, buildOptions(opts))
 }
 
 // SelfKClosestPairs returns the k closest unordered pairs of distinct
-// points within one index.
+// points within one index. It is the non-cancellable shim over
+// SelfKClosestPairsContext.
 func SelfKClosestPairs(p *Index, k int, opts ...QueryOption) ([]Pair, Stats, error) {
-	return core.SelfKClosestPairs(p.tree, k, buildOptions(opts))
+	return SelfKClosestPairsContext(context.Background(), p, k, opts...)
+}
+
+// SelfKClosestPairsContext is SelfKClosestPairs under a context; see
+// ClosestPairContext for the cancellation contract.
+func SelfKClosestPairsContext(ctx context.Context, p *Index, k int, opts ...QueryOption) ([]Pair, Stats, error) {
+	return core.SelfKClosestPairsContext(ctx, p.tree, k, buildOptions(opts))
 }
 
 // SemiClosestPairs returns, for every point of p, its nearest point in q
 // (the paper's semi-CPQ future-work variant), sorted by ascending
-// distance.
+// distance. It is the non-cancellable shim over SemiClosestPairsContext.
 func SemiClosestPairs(p, q *Index, opts ...QueryOption) ([]Pair, Stats, error) {
-	return core.SemiClosestPairs(p.tree, q.tree, buildOptions(opts))
+	return SemiClosestPairsContext(context.Background(), p, q, opts...)
+}
+
+// SemiClosestPairsContext is SemiClosestPairs under a context; see
+// ClosestPairContext for the cancellation contract.
+func SemiClosestPairsContext(ctx context.Context, p, q *Index, opts ...QueryOption) ([]Pair, Stats, error) {
+	return core.SemiClosestPairsContext(ctx, p.tree, q.tree, buildOptions(opts))
 }
 
 // SemiClosestPairsBatched computes the same result as SemiClosestPairs
 // with a batched traversal: one best-first search over q per leaf of p
 // serves all of the leaf's points at once, usually at a fraction of the
-// disk accesses.
+// disk accesses. It is the non-cancellable shim over
+// SemiClosestPairsBatchedContext.
 func SemiClosestPairsBatched(p, q *Index, opts ...QueryOption) ([]Pair, Stats, error) {
-	return core.SemiClosestPairsBatched(p.tree, q.tree, buildOptions(opts))
+	return SemiClosestPairsBatchedContext(context.Background(), p, q, opts...)
+}
+
+// SemiClosestPairsBatchedContext is SemiClosestPairsBatched under a
+// context; see ClosestPairContext for the cancellation contract.
+func SemiClosestPairsBatchedContext(ctx context.Context, p, q *Index, opts ...QueryOption) ([]Pair, Stats, error) {
+	return core.SemiClosestPairsBatchedContext(ctx, p.tree, q.tree, buildOptions(opts))
 }
 
 // Traversal selects the incremental join's expansion policy (Hjaltason &
