@@ -13,7 +13,9 @@
 //	cpqlint ./...                             # lint the whole module
 //	cpqlint internal/core internal/storage    # specific package directories
 //	cpqlint -checks sqrtfree,errprop ./...    # a subset of the checks
+//	cpqlint -checks shareguard ./...          # a group alias expands
 //	cpqlint -json ./...                       # SARIF-style JSON on stdout
+//	cpqlint -timing -budget 30s ./...         # fail if any check runs long
 //	cpqlint -list                             # list available checks
 //
 // The syntactic checks are bufferdiscipline (no BufferPool.Get/Put on
@@ -25,14 +27,18 @@
 // the SSA-lite IR, are pinleak (storage handles released on every path),
 // lockorder (acyclic lock-ordering graph, no nested shard locks),
 // boundmono (the parallel pruning bound only tightens) and deferinloop
-// (no deferred releases inside loops). See DESIGN.md §7 for the
-// contracts each check guards.
+// (no deferred releases inside loops). Two interprocedural groups ride
+// the shared callgraph: ctxflow (ctxprop, cancelpoll, ctxleak — the
+// cancellation contract of DESIGN.md §11) and shareguard (sharedfield,
+// guardlock, pubimmut — the static data-race pass of DESIGN.md §12).
+// See DESIGN.md §7 for the contracts the per-check analyses guard.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -46,6 +52,7 @@ func main() {
 		checkAlias = flag.String("check", "", "alias for -checks")
 		jsonOut    = flag.Bool("json", false, "emit findings as SARIF-style JSON on stdout")
 		timing     = flag.Bool("timing", false, "print a per-check wall-clock breakdown on stderr")
+		budget     = flag.Duration("budget", 0, "per-check wall-clock budget; any check over it fails the run (0 = unlimited)")
 		list       = flag.Bool("list", false, "list available checks and exit")
 	)
 	flag.Parse()
@@ -107,7 +114,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags, timings := lint.RunWithTimings(prog, checks)
+	diags, suppressed, timings := lint.RunAll(prog, checks)
 	if *timing {
 		var total time.Duration
 		for _, t := range timings {
@@ -116,8 +123,21 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "%-18s %10s\n", "total", total.Round(time.Microsecond))
 	}
+	// The budget gate keeps the lint step's latency a tested property: a
+	// check that regresses past the allowance fails CI the same way a
+	// finding would, instead of silently stretching every build.
+	var overBudget []string
+	if *budget > 0 {
+		for _, t := range timings {
+			if t.Elapsed > *budget {
+				overBudget = append(overBudget, fmt.Sprintf(
+					"check %s took %s, over the %s budget",
+					t.Name, t.Elapsed.Round(time.Millisecond), *budget))
+			}
+		}
+	}
 	if *jsonOut {
-		if err := writeSARIF(os.Stdout, checks, diags); err != nil {
+		if err := writeSARIF(os.Stdout, checks, diags, suppressed); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -131,12 +151,17 @@ func main() {
 	for _, le := range prog.Failed {
 		fmt.Fprintln(os.Stderr, "cpqlint: load:", le.Error())
 	}
+	for _, msg := range overBudget {
+		fmt.Fprintln(os.Stderr, "cpqlint: budget:", msg)
+	}
 	switch {
 	case len(prog.Failed) > 0:
 		fmt.Fprintf(os.Stderr, "cpqlint: %d package(s) failed to load\n", len(prog.Failed))
 		os.Exit(2)
 	case len(diags) > 0:
 		fmt.Fprintf(os.Stderr, "cpqlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	case len(overBudget) > 0:
 		os.Exit(1)
 	}
 }
@@ -151,8 +176,16 @@ type sarifLog struct {
 }
 
 type sarifRun struct {
-	Tool    sarifTool     `json:"tool"`
-	Results []sarifResult `json:"results"`
+	Tool       sarifTool     `json:"tool"`
+	Results    []sarifResult `json:"results"`
+	Properties sarifRunProps `json:"properties"`
+}
+
+// sarifRunProps is the run-level property bag; suppressed counts the
+// findings dropped by //lint:ignore directives, so a log consumer can
+// tell a genuinely clean run from a heavily waived one.
+type sarifRunProps struct {
+	Suppressed int `json:"suppressed"`
 }
 
 type sarifTool struct {
@@ -169,10 +202,18 @@ type sarifRule struct {
 }
 
 type sarifResult struct {
-	RuleID    string          `json:"ruleId"`
-	Level     string          `json:"level"`
-	Message   sarifMessage    `json:"message"`
-	Locations []sarifLocation `json:"locations"`
+	RuleID     string           `json:"ruleId"`
+	Level      string           `json:"level"`
+	Message    sarifMessage     `json:"message"`
+	Locations  []sarifLocation  `json:"locations"`
+	Properties sarifResultProps `json:"properties"`
+}
+
+// sarifResultProps carries the check-group alias ("ctxflow",
+// "shareguard", ... or "" for ungrouped checks) so findings can be
+// filtered by pass without knowing the member-check names.
+type sarifResultProps struct {
+	Group string `json:"group"`
 }
 
 type sarifMessage struct {
@@ -197,7 +238,13 @@ type sarifRegion struct {
 	StartColumn int `json:"startColumn,omitempty"`
 }
 
-func writeSARIF(w *os.File, checks []lint.Check, diags []lint.Diagnostic) error {
+func writeSARIF(w io.Writer, checks []lint.Check, diags []lint.Diagnostic, suppressed int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(buildSARIF(checks, diags, suppressed))
+}
+
+func buildSARIF(checks []lint.Check, diags []lint.Diagnostic, suppressed int) sarifLog {
 	rules := make([]sarifRule, 0, len(checks))
 	for _, c := range checks {
 		rules = append(rules, sarifRule{ID: c.Name()})
@@ -214,19 +261,18 @@ func writeSARIF(w *os.File, checks []lint.Check, diags []lint.Diagnostic) error 
 					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
 				},
 			}},
+			Properties: sarifResultProps{Group: lint.GroupOf(d.Check)},
 		})
 	}
-	log := sarifLog{
+	return sarifLog{
 		Version: "2.1.0",
 		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
 		Runs: []sarifRun{{
-			Tool:    sarifTool{Driver: sarifDriver{Name: "cpqlint", Rules: rules}},
-			Results: results,
+			Tool:       sarifTool{Driver: sarifDriver{Name: "cpqlint", Rules: rules}},
+			Results:    results,
+			Properties: sarifRunProps{Suppressed: suppressed},
 		}},
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(log)
 }
 
 func fatal(err error) {

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestSARIFRoundTrip encodes a log through writeSARIF and decodes it back
+// through the same schema structs: every field the CI consumers rely on —
+// ruleId, location, the per-result group and the run-level suppressed
+// count — must survive the trip unchanged.
+func TestSARIFRoundTrip(t *testing.T) {
+	checks := []lint.Check{lint.NewSharedField(), lint.NewSqrtFree()}
+	diags := []lint.Diagnostic{
+		{
+			Pos:     token.Position{Filename: "internal/core/engine.go", Line: 24, Column: 2},
+			Check:   "sharedfield",
+			Message: "field hub.n is written here with no lock held",
+		},
+		{
+			Pos:     token.Position{Filename: "internal/core/dist.go", Line: 7, Column: 9},
+			Check:   "sqrtfree",
+			Message: "math.Sqrt on a pruning path",
+		},
+	}
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, checks, diags, 3); err != nil {
+		t.Fatalf("writeSARIF: %v", err)
+	}
+
+	var got sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", got.Version)
+	}
+	if len(got.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(got.Runs))
+	}
+	run := got.Runs[0]
+	if run.Tool.Driver.Name != "cpqlint" {
+		t.Errorf("driver = %q, want cpqlint", run.Tool.Driver.Name)
+	}
+	if run.Properties.Suppressed != 3 {
+		t.Errorf("suppressed = %d, want 3", run.Properties.Suppressed)
+	}
+	if len(run.Tool.Driver.Rules) != 2 || run.Tool.Driver.Rules[0].ID != "sharedfield" {
+		t.Errorf("rules = %+v, want [sharedfield sqrtfree]", run.Tool.Driver.Rules)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "sharedfield" {
+		t.Errorf("ruleId = %q, want sharedfield", first.RuleID)
+	}
+	if first.Properties.Group != "shareguard" {
+		t.Errorf("group = %q, want shareguard", first.Properties.Group)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/engine.go" ||
+		loc.Region.StartLine != 24 || loc.Region.StartColumn != 2 {
+		t.Errorf("location = %+v, want engine.go:24:2", loc)
+	}
+	// An ungrouped check keeps the group field present but empty, so
+	// filters can treat it uniformly.
+	if got := run.Results[1].Properties.Group; got != "" {
+		t.Errorf("sqrtfree group = %q, want empty", got)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"group": ""`)) {
+		t.Errorf("encoded log omits the empty group field:\n%s", buf.String())
+	}
+}
+
+// TestSARIFEmptyRun keeps the zero-finding shape stable: results must be
+// an empty array (not null) and the suppressed count still present.
+func TestSARIFEmptyRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, lint.Checks(), nil, 0); err != nil {
+		t.Fatalf("writeSARIF: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"results": []`)) {
+		t.Errorf("empty run should encode results as [], got:\n%s", buf.String())
+	}
+	var got sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Runs[0].Properties.Suppressed != 0 {
+		t.Errorf("suppressed = %d, want 0", got.Runs[0].Properties.Suppressed)
+	}
+}

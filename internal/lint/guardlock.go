@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// GuardLock enforces consistent lock coverage over shared fields. For a
+// field with at least one shared write (see sgFacts.sharedAccesses), the
+// rule depends on whether the field declares its guard:
+//
+//   - annotated (//lint:guardedby mu): every shared access must have mu
+//     in its may-held lockset; each access without it is flagged. The
+//     annotation pins intent, so even a field with no locking evidence
+//     at all is held to it.
+//   - unannotated: if some shared access holds a lock, the intersection
+//     of may-held locksets across all shared accesses must be
+//     non-empty. An empty intersection means no single lock protects
+//     the field — two of the access sites can interleave — and the
+//     first access missing the field's most-held lock is flagged.
+//
+// Malformed annotations (no lock name, unknown sibling, sibling not a
+// mutex) are reported here too, so a typo cannot silently drop a field
+// out of enforcement.
+type GuardLock struct {
+	// Scopes are import-path fragments; only fields declared in these
+	// packages participate.
+	Scopes []string
+}
+
+// NewGuardLock returns the check configured for the engine's shared
+// state.
+func NewGuardLock() *GuardLock {
+	return &GuardLock{Scopes: sgScopes()}
+}
+
+// Name implements Check.
+func (c *GuardLock) Name() string { return "guardlock" }
+
+// Run implements Check.
+func (c *GuardLock) Run(prog *Program) []Diagnostic {
+	facts := shareguardFacts(prog, c.Scopes)
+	diags := append([]Diagnostic(nil), facts.badGuards...)
+	for _, field := range facts.fields {
+		if facts.exempt(field) {
+			continue
+		}
+		shared := facts.sharedAccesses(field)
+		if lock, annotated := facts.guardedBy[field]; annotated {
+			diags = append(diags, c.checkAnnotated(prog, facts, field, lock, shared)...)
+			continue
+		}
+		diags = append(diags, c.checkIntersection(prog, facts, field, shared)...)
+	}
+	return diags
+}
+
+// checkAnnotated flags every shared access that does not hold the
+// declared guard.
+func (c *GuardLock) checkAnnotated(prog *Program, facts *sgFacts, field, lock *types.Var, shared []*sgAccess) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range shared {
+		if facts.heldAt(a)[lock] {
+			continue
+		}
+		verb := "read"
+		if a.write {
+			verb = "written"
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   prog.position(a.pos),
+			Check: c.Name(),
+			Message: fmt.Sprintf(
+				"field %s is declared //lint:guardedby %s but is %s here without it (reachable from %s)",
+				fieldName(field), lock.Name(), verb, facts.spawnSite(a.node)),
+		})
+	}
+	return diags
+}
+
+// checkIntersection applies the unannotated rule: locking evidence plus
+// an empty lockset intersection across the shared accesses.
+func (c *GuardLock) checkIntersection(prog *Program, facts *sgFacts, field *types.Var, shared []*sgAccess) []Diagnostic {
+	hasWrite := false
+	counts := make(map[*types.Var]int)
+	for _, a := range shared {
+		if a.write {
+			hasWrite = true
+		}
+		for v := range facts.heldAt(a) {
+			counts[v]++
+		}
+	}
+	if !hasWrite || len(counts) == 0 {
+		return nil // fully unprotected fields are sharedfield's finding
+	}
+	// Non-empty intersection: some lock is held at every shared access.
+	for _, n := range counts {
+		if n == len(shared) {
+			return nil
+		}
+	}
+	// Pick the lock held at most sites as the presumed guard, breaking
+	// ties by source position for determinism.
+	var guard *types.Var
+	for v, n := range counts {
+		if guard == nil || n > counts[guard] || (n == counts[guard] && v.Pos() < guard.Pos()) {
+			guard = v
+		}
+	}
+	// Flag the first access (by position) missing the presumed guard.
+	missing := make([]*sgAccess, 0, len(shared))
+	for _, a := range shared {
+		if !facts.heldAt(a)[guard] {
+			missing = append(missing, a)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].pos < missing[j].pos })
+	a := missing[0]
+	verb := "read"
+	if a.write {
+		verb = "written"
+	}
+	return []Diagnostic{{
+		Pos:   prog.position(a.pos),
+		Check: c.Name(),
+		Message: fmt.Sprintf(
+			"field %s is guarded by %s at %d of %d shared access sites but %s here without it; no single lock covers every access",
+			fieldName(field), lockName(guard), counts[guard], len(shared), verb),
+	}}
+}

@@ -93,6 +93,19 @@ func (p *Program) irFor(name string, body *ast.BlockStmt, info *types.Info) *ssa
 	return f
 }
 
+// escFor memoizes the escape-to-goroutine facts per CFG.
+func (p *Program) escFor(f *ssa.Func, info *types.Info) *ssa.Escapes {
+	if p.esc == nil {
+		p.esc = make(map[*ssa.Func]*ssa.Escapes)
+	}
+	if e, ok := p.esc[f]; ok {
+		return e
+	}
+	e := ssa.AnalyzeEscapes(f, info)
+	p.esc[f] = e
+	return e
+}
+
 // reachFor memoizes the reaching-definitions solution per CFG.
 func (p *Program) reachFor(f *ssa.Func, info *types.Info) *ssa.Reaching {
 	if p.reach == nil {

@@ -50,6 +50,22 @@
 //   - ctxleak: a spawned goroutine must select on ctx.Done() or be
 //     joined by its spawner, so cancelled queries leak nothing.
 //
+// The shareguard pass (three checks sharing an escape analysis, a taint
+// fixpoint over the callgraph and per-block locksets; DESIGN.md §12)
+// guards the sharing discipline the race detector can only spot-check:
+//
+//   - sharedfield: a struct field written from goroutine-reachable code
+//     through shared state with no lock held at any access, no
+//     sync/atomic discipline and no annotation is a data race waiting
+//     for a schedule.
+//   - guardlock: where locking evidence exists it must cover — every
+//     access to a //lint:guardedby-annotated field holds the declared
+//     mutex, and an unannotated field's locksets must share at least one
+//     lock across all shared accesses.
+//   - pubimmut: a field write after its value was published to another
+//     goroutine needs synchronization; constructor writes before the
+//     publishing go statement, send or global store are exempt.
+//
 // A finding can be suppressed by the line comment
 //
 //	//lint:ignore <check> <reason>
@@ -112,16 +128,34 @@ func Checks() []Check {
 		NewCtxProp(),
 		NewCancelPoll(),
 		NewCtxLeak(),
+		NewSharedField(),
+		NewGuardLock(),
+		NewPubImmut(),
 	}
 }
 
 // CheckGroups maps group aliases to the check names they expand to; the
 // cpqlint -checks flag accepts a group name wherever it accepts a check
-// name. "ctxflow" is the cancellation-correctness pass of DESIGN.md §11.
+// name. "ctxflow" is the cancellation-correctness pass of DESIGN.md §11;
+// "shareguard" is the static data-race pass of DESIGN.md §12.
 func CheckGroups() map[string][]string {
 	return map[string][]string{
-		"ctxflow": {"ctxprop", "cancelpoll", "ctxleak"},
+		"ctxflow":    {"ctxprop", "cancelpoll", "ctxleak"},
+		"shareguard": {"sharedfield", "guardlock", "pubimmut"},
 	}
+}
+
+// GroupOf maps each check name to its group alias ("" for ungrouped
+// checks); the cpqlint JSON output attaches it to every finding.
+func GroupOf(check string) string {
+	for group, names := range CheckGroups() {
+		for _, n := range names {
+			if n == check {
+				return group
+			}
+		}
+	}
+	return ""
 }
 
 // CheckTiming is the wall-clock cost of one check during a
@@ -142,11 +176,20 @@ func Run(prog *Program, checks []Check) []Diagnostic {
 }
 
 // RunWithTimings is Run plus a per-check wall-clock breakdown, for the
-// cpqlint -timing flag and the lint benchmark. The typed load, the
-// callgraph and the per-function IR are memoized on prog, so the first
-// check that needs a shared artifact pays for it and the rest ride along
-// — the timings show exactly that.
+// cpqlint -timing flag and the lint benchmark.
 func RunWithTimings(prog *Program, checks []Check) ([]Diagnostic, []CheckTiming) {
+	diags, _, timings := RunAll(prog, checks)
+	return diags, timings
+}
+
+// RunAll executes the checks over prog and returns the surviving
+// diagnostics, the number of findings dropped by //lint:ignore
+// directives (for the JSON output's suppressed count), and the per-check
+// wall-clock breakdown. The typed load, the callgraph and the
+// per-function IR are memoized on prog, so the first check that needs a
+// shared artifact pays for it and the rest ride along — the timings show
+// exactly that.
+func RunAll(prog *Program, checks []Check) ([]Diagnostic, int, []CheckTiming) {
 	var diags []Diagnostic
 	timings := make([]CheckTiming, 0, len(checks))
 	for _, c := range checks {
@@ -164,7 +207,7 @@ func RunWithTimings(prog *Program, checks []Check) ([]Diagnostic, []CheckTiming)
 	for _, c := range Checks() {
 		known[c.Name()] = true
 	}
-	diags = applyIgnores(prog, known, diags)
+	diags, suppressed := applyIgnores(prog, known, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -178,7 +221,7 @@ func RunWithTimings(prog *Program, checks []Check) ([]Diagnostic, []CheckTiming)
 		}
 		return a.Message < b.Message
 	})
-	return diags, timings
+	return diags, suppressed, timings
 }
 
 // ignoreKey identifies the scope of one suppression directive: a check
@@ -191,9 +234,10 @@ type ignoreKey struct {
 }
 
 // applyIgnores drops diagnostics covered by well-formed //lint:ignore
-// directives and reports malformed or unknown-check directives as findings
-// of the built-in "lint" pseudo-check.
-func applyIgnores(prog *Program, known map[string]bool, diags []Diagnostic) []Diagnostic {
+// directives (returning how many were dropped) and reports malformed or
+// unknown-check directives as findings of the built-in "lint"
+// pseudo-check.
+func applyIgnores(prog *Program, known map[string]bool, diags []Diagnostic) ([]Diagnostic, int) {
 	ignores := make(map[ignoreKey]bool)
 	var problems []Diagnostic
 	for _, pkg := range prog.Packages {
@@ -230,9 +274,11 @@ func applyIgnores(prog *Program, known map[string]bool, diags []Diagnostic) []Di
 	}
 	starts := stmtStartLines(prog)
 	kept := problems
+	suppressed := 0
 	for _, d := range diags {
 		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
 			ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}] {
+			suppressed++
 			continue
 		}
 		// A finding inside a multi-line statement is also covered by a
@@ -241,11 +287,12 @@ func applyIgnores(prog *Program, known map[string]bool, diags []Diagnostic) []Di
 		if s, ok := starts[lineKey{d.Pos.Filename, d.Pos.Line}]; ok &&
 			(ignores[ignoreKey{d.Pos.Filename, s, d.Check}] ||
 				ignores[ignoreKey{d.Pos.Filename, s - 1, d.Check}]) {
+			suppressed++
 			continue
 		}
 		kept = append(kept, d)
 	}
-	return kept
+	return kept, suppressed
 }
 
 // lineKey addresses one source line of one file.

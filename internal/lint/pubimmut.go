@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"fmt"
+)
+
+// PubImmut enforces safe publication: a field written only while its
+// owning value is still private to the constructing goroutine —
+// definitely before the value's earliest escape site — is
+// immutable-after-publish and needs no lock (the happens-before edge of
+// the go statement or channel send publishes the writes with the value).
+// The check flags the writes that break the pattern: a write definitely
+// *after* the enclosing function published the value, with no lock
+// may-held and no atomic discipline. That write races with every reader
+// the publication created, whether or not any reader has been written
+// yet — the classic lazily-patched-after-spawn bug the parallel engine's
+// pre-spawn-only configuration fields are designed around.
+//
+// Ordering is decided per function by dominance over the SSA-lite CFG
+// (same block: node order); a write whose ordering against the escape
+// site is ambiguous is left to sharedfield/guardlock, keeping this check
+// quiet on loops that republish.
+type PubImmut struct {
+	// Scopes are import-path fragments; only fields declared in these
+	// packages participate.
+	Scopes []string
+}
+
+// NewPubImmut returns the check configured for the engine's shared
+// state.
+func NewPubImmut() *PubImmut {
+	return &PubImmut{Scopes: sgScopes()}
+}
+
+// Name implements Check.
+func (c *PubImmut) Name() string { return "pubimmut" }
+
+// Run implements Check.
+func (c *PubImmut) Run(prog *Program) []Diagnostic {
+	facts := shareguardFacts(prog, c.Scopes)
+	var diags []Diagnostic
+	for _, field := range facts.fields {
+		if facts.exempt(field) {
+			continue
+		}
+		for _, a := range facts.accesses[field] {
+			if !a.write || !a.postEscape {
+				continue
+			}
+			if len(facts.heldAt(a)) > 0 {
+				continue
+			}
+			site := prog.position(a.escapePos)
+			diags = append(diags, Diagnostic{
+				Pos:   prog.position(a.pos),
+				Check: c.Name(),
+				Message: fmt.Sprintf(
+					"field %s is written after its value was published to another goroutine at %s:%d; post-publication writes need a lock or sync/atomic",
+					fieldName(field), site.Filename, site.Line),
+			})
+		}
+	}
+	return diags
+}

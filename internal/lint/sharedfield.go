@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"fmt"
+)
+
+// SharedField flags struct fields that the goroutine-reachable code
+// writes through a shared base value with no synchronization anywhere:
+// no lock may-held at any shared access site, no sync/atomic discipline,
+// no //lint:guardedby annotation. This is the "completely unprotected"
+// tier of the shareguard pass — a field with *some* locking evidence but
+// inconsistent coverage belongs to guardlock instead, and a field whose
+// only writes happen before the value is published belongs to pubimmut's
+// immutable-after-publish exemption (a definitely-pre-escape write never
+// counts as shared here).
+type SharedField struct {
+	// Scopes are import-path fragments; only fields declared in these
+	// packages participate.
+	Scopes []string
+}
+
+// NewSharedField returns the check configured for the engine's shared
+// state.
+func NewSharedField() *SharedField {
+	return &SharedField{Scopes: sgScopes()}
+}
+
+// Name implements Check.
+func (c *SharedField) Name() string { return "sharedfield" }
+
+// Run implements Check.
+func (c *SharedField) Run(prog *Program) []Diagnostic {
+	facts := shareguardFacts(prog, c.Scopes)
+	var diags []Diagnostic
+	for _, field := range facts.fields {
+		if facts.exempt(field) {
+			continue
+		}
+		if _, annotated := facts.guardedBy[field]; annotated {
+			continue // guardlock enforces the declared guard
+		}
+		shared := facts.sharedAccesses(field)
+		var firstWrite *sgAccess
+		locked := false
+		for _, a := range shared {
+			if a.write && (firstWrite == nil || a.pos < firstWrite.pos) {
+				firstWrite = a
+			}
+			if len(facts.heldAt(a)) > 0 {
+				locked = true
+			}
+		}
+		if firstWrite == nil || locked {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   prog.position(firstWrite.pos),
+			Check: c.Name(),
+			Message: fmt.Sprintf(
+				"field %s is written here with no lock held and is reachable from %s through shared state; guard every access with one mutex, move to sync/atomic, or declare the guard with //lint:guardedby",
+				fieldName(field), facts.spawnSite(firstWrite.node)),
+		})
+	}
+	return diags
+}

@@ -13,7 +13,7 @@ import (
 
 // buildFunc type-checks src (a complete file) and builds the CFG of the
 // function named name.
-func buildFunc(t *testing.T, src, name string) (*ssa.Func, *types.Info) {
+func buildFunc(t testing.TB, src, name string) (*ssa.Func, *types.Info) {
 	t.Helper()
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)

@@ -1,0 +1,320 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Escape-to-goroutine analysis: which local variables of one function may
+// become visible to another goroutine. This is the alias layer under the
+// shareguard checks — a field access only participates in the data-race
+// analysis when the value it is reached through may be shared, and
+// sharing starts exactly here.
+//
+// The lattice is a two-point may-analysis per variable (local /
+// escapes-to-goroutine) with three seed rules and a closure:
+//
+//   - go captures: every variable referenced by the function literal of a
+//     go statement, and every variable appearing in the spawned call's
+//     receiver or arguments, escapes at the go statement.
+//   - channel sends: `ch <- v` hands v to a receiver on an unknown
+//     goroutine, so the variables of the sent expression escape.
+//   - stores into escaping bases: `x.f = v` and `x[i] = v` publish v
+//     wherever x is already visible, so once x escapes, v does too; a
+//     store into a package-level variable escapes unconditionally.
+//   - alias closure: `w := v` (including &v, v wrapped in a composite
+//     literal, or a function literal capturing v) makes w and v views of
+//     one object, so an escape of either escapes the other. The closure
+//     runs to a fixpoint; calls are deliberately opaque (a value passed
+//     to or returned from an ordinary call does not escape here — the
+//     interprocedural half lives in the lint package's taint
+//     propagation over the callgraph).
+//
+// Each escaping variable remembers its earliest escape site in source
+// order. The safe-publication check uses the site to separate
+// constructor writes (before the value is visible to any goroutine) from
+// post-publication writes (after).
+
+// Escapes holds the escape-to-goroutine facts of one Func.
+type Escapes struct {
+	f    *Func
+	info *types.Info
+	// sites maps each escaping variable to its earliest escape site (a
+	// node recorded in a block of f).
+	sites map[*types.Var]ast.Node
+}
+
+// AnalyzeEscapes computes the escape facts for f.
+func AnalyzeEscapes(f *Func, info *types.Info) *Escapes {
+	e := &Escapes{f: f, info: info, sites: make(map[*types.Var]ast.Node)}
+	// Seed pass: go captures and channel sends.
+	for _, b := range f.Blocks {
+		for _, n := range b.Nodes {
+			Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.GoStmt:
+					e.seedGo(n, m)
+				case *ast.SendStmt:
+					e.markAll(n, RootVars(info, m.Value))
+				}
+				return true
+			})
+		}
+	}
+	// Closure: aliases and stores into escaping bases, to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, n := range b.Nodes {
+				if e.propagate(n) {
+					changed = true
+				}
+			}
+		}
+	}
+	return e
+}
+
+// seedGo marks the captures of one go statement: the free variables of a
+// spawned literal, and every variable of the call's function expression
+// (the receiver of `go s.work()`, a spawned function variable) and
+// arguments.
+func (e *Escapes) seedGo(site ast.Node, g *ast.GoStmt) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		e.markAll(site, capturedVars(e.info, lit))
+	} else {
+		e.markAll(site, RootVars(e.info, g.Call.Fun))
+	}
+	for _, arg := range g.Call.Args {
+		e.markAll(site, RootVars(e.info, arg))
+	}
+}
+
+// propagate applies the alias and store rules to one block node,
+// reporting whether any new variable escaped.
+func (e *Escapes) propagate(n ast.Node) bool {
+	changed := false
+	apply := func(lhs ast.Expr, rhs ast.Expr) {
+		if rhs == nil {
+			return
+		}
+		switch target := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			// Alias: lhs and rhs view one object. An escape of either
+			// side escapes the other (the store may have happened before
+			// the escape was discovered, so the rule is symmetric).
+			v, ok := e.objOf(target)
+			if !ok {
+				return
+			}
+			roots := RootVars(e.info, rhs)
+			if isGlobal(v) {
+				changed = e.mark(n, v) || changed
+			}
+			if site, esc := e.sites[v]; esc {
+				changed = e.markAll(site, roots) || changed
+			}
+			for _, r := range roots {
+				if site, esc := e.sites[r]; esc {
+					changed = e.mark(site, v) || changed
+				}
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			// Store through a base: publishes rhs wherever the base is
+			// visible.
+			base := BaseVar(e.info, lhs)
+			if base == nil {
+				return
+			}
+			site, esc := e.sites[base]
+			if !esc && !isGlobal(base) {
+				return
+			}
+			if site == nil {
+				site = n
+			}
+			changed = e.markAll(site, RootVars(e.info, rhs)) || changed
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				apply(n.Lhs[i], n.Rhs[i])
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != len(vs.Names) {
+				continue
+			}
+			for i, name := range vs.Names {
+				apply(name, vs.Values[i])
+			}
+		}
+	}
+	return changed
+}
+
+// objOf resolves an identifier to its variable object.
+func (e *Escapes) objOf(id *ast.Ident) (*types.Var, bool) {
+	if v, ok := e.info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	if v, ok := e.info.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	return nil, false
+}
+
+// mark records v as escaping at site (keeping the earliest site when v
+// already escapes). Reports whether v is newly escaping.
+func (e *Escapes) mark(site ast.Node, v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	if old, ok := e.sites[v]; ok {
+		if site != nil && site.Pos() < old.Pos() {
+			e.sites[v] = site
+		}
+		return false
+	}
+	e.sites[v] = site
+	return true
+}
+
+func (e *Escapes) markAll(site ast.Node, vars []*types.Var) bool {
+	changed := false
+	for _, v := range vars {
+		changed = e.mark(site, v) || changed
+	}
+	return changed
+}
+
+// Escaping lists the escaping variables in source-position order.
+func (e *Escapes) Escaping() []*types.Var {
+	out := make([]*types.Var, 0, len(e.sites))
+	for v := range e.sites {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// Escapes reports whether v may be visible to another goroutine.
+func (e *Escapes) Escapes(v *types.Var) bool {
+	_, ok := e.sites[v]
+	return ok
+}
+
+// Site returns the earliest escape site of v (a node recorded in a block
+// of the function), or nil when v does not escape.
+func (e *Escapes) Site(v *types.Var) ast.Node { return e.sites[v] }
+
+// RootVars collects the variables an expression's value may alias: the
+// identifier itself, the operand of an address-of, the elements of a
+// composite literal, the base of a selector/index/slice chain, and the
+// captures of a function literal. Calls (including conversions) are
+// opaque — their results are fresh values here.
+func RootVars(info *types.Info, expr ast.Expr) []*types.Var {
+	var out []*types.Var
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[e].(*types.Var); ok {
+				out = append(out, v)
+			} else if v, ok := info.Defs[e].(*types.Var); ok {
+				out = append(out, v)
+			}
+		case *ast.UnaryExpr:
+			walk(e.X)
+		case *ast.StarExpr:
+			walk(e.X)
+		case *ast.SelectorExpr:
+			walk(e.X)
+		case *ast.IndexExpr:
+			walk(e.X)
+		case *ast.SliceExpr:
+			walk(e.X)
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					walk(kv.Value)
+					continue
+				}
+				walk(elt)
+			}
+		case *ast.FuncLit:
+			out = append(out, capturedVars(info, e)...)
+		}
+	}
+	walk(expr)
+	return out
+}
+
+// BaseVar resolves the root variable of a selector/index/star chain
+// (`x.f.g[i]` -> x), or nil when the chain roots in a call or literal.
+func BaseVar(info *types.Info, expr ast.Expr) *types.Var {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[e].(*types.Var); ok {
+				return v
+			}
+			if v, ok := info.Defs[e].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// capturedVars lists the free variables of a function literal: variables
+// referenced in its body but declared outside it.
+func capturedVars(info *types.Info, lit *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[v] {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the literal (params, locals)
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// isGlobal reports whether v is a package-level variable (shared by
+// definition: any goroutine of the process can reach it).
+func isGlobal(v *types.Var) bool {
+	if v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,202 @@
+package ssa_test
+
+import (
+	"go/types"
+	"sort"
+	"testing"
+
+	"repro/internal/lint/ssa"
+)
+
+// escapingNames runs the escape analysis on the named function and
+// returns the escaping variable names in sorted order.
+func escapingNames(t *testing.T, src, name string) []string {
+	t.Helper()
+	f, info := buildFunc(t, src, name)
+	esc := ssa.AnalyzeEscapes(f, info)
+	var out []string
+	for _, v := range esc.Escaping() {
+		out = append(out, v.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEscapeGoCapture(t *testing.T) {
+	got := escapingNames(t, `package p
+func f() {
+	x := 0
+	y := 0
+	go func() { x++ }()
+	_ = y
+}`, "f")
+	if !eq(got, []string{"x"}) {
+		t.Errorf("go capture: got %v, want [x]", got)
+	}
+}
+
+func TestEscapeGoArgsAndReceiver(t *testing.T) {
+	got := escapingNames(t, `package p
+type s struct{ n int }
+func (s *s) work(p *int) {}
+func f() {
+	v := &s{}
+	a := 1
+	b := 2
+	go v.work(&a)
+	_ = b
+}`, "f")
+	if !eq(got, []string{"a", "v"}) {
+		t.Errorf("go receiver+args: got %v, want [a v]", got)
+	}
+}
+
+func TestEscapeChannelSend(t *testing.T) {
+	got := escapingNames(t, `package p
+func f(ch chan *int) {
+	x := 1
+	local := 2
+	ch <- &x
+	_ = local
+}`, "f")
+	if !eq(got, []string{"x"}) {
+		t.Errorf("channel send: got %v, want [x]", got)
+	}
+}
+
+// An alias created before the escape must escape too: w and v name the
+// same object, and the goroutine sees it through w.
+func TestEscapeAliasClosure(t *testing.T) {
+	got := escapingNames(t, `package p
+func f() {
+	v := new(int)
+	w := v
+	go func() { _ = w }()
+}`, "f")
+	if !eq(got, []string{"v", "w"}) {
+		t.Errorf("alias closure: got %v, want [v w]", got)
+	}
+}
+
+// A store into an already-escaping base publishes the stored value.
+func TestEscapeStoreIntoEscapingBase(t *testing.T) {
+	got := escapingNames(t, `package p
+type box struct{ p *int }
+func f() {
+	b := &box{}
+	go func() { _ = b }()
+	n := 7
+	b.p = &n
+}`, "f")
+	if !eq(got, []string{"b", "n"}) {
+		t.Errorf("store into escaping base: got %v, want [b n]", got)
+	}
+}
+
+// A store into a package-level variable escapes even with no goroutine
+// in sight — globals are shared by definition.
+func TestEscapeStoreIntoGlobal(t *testing.T) {
+	got := escapingNames(t, `package p
+var sink *int
+func f() {
+	n := 7
+	sink = &n
+}`, "f")
+	if !eq(got, []string{"n", "sink"}) {
+		t.Errorf("store into global: got %v, want [n sink]", got)
+	}
+}
+
+// Calls are opaque: passing a value to an ordinary call is not an
+// escape at this layer.
+func TestEscapeCallsOpaque(t *testing.T) {
+	got := escapingNames(t, `package p
+func use(p *int) {}
+func f() {
+	n := 7
+	use(&n)
+}`, "f")
+	if len(got) != 0 {
+		t.Errorf("ordinary call: got %v, want none", got)
+	}
+}
+
+// The recorded site is the earliest escape in source order, and
+// Site/Escapes agree with Escaping.
+func TestEscapeSite(t *testing.T) {
+	f, info := buildFunc(t, `package p
+func f() {
+	x := 0
+	go func() { x++ }()
+	go func() { x-- }()
+}`, "f")
+	esc := ssa.AnalyzeEscapes(f, info)
+	vars := esc.Escaping()
+	if len(vars) != 1 || vars[0].Name() != "x" {
+		t.Fatalf("want [x], got %v", vars)
+	}
+	var x *types.Var = vars[0]
+	if !esc.Escapes(x) {
+		t.Error("Escapes(x) = false")
+	}
+	site := esc.Site(x)
+	if site == nil {
+		t.Fatal("Site(x) = nil")
+	}
+	// The earliest site is the first go statement; the second go
+	// statement is later in the file.
+	for _, b := range f.Blocks {
+		for _, n := range b.Nodes {
+			if n.Pos() > x.Pos() && n.Pos() < site.Pos() {
+				t.Errorf("site %v is not the earliest escape (node at %v precedes it)", site.Pos(), n.Pos())
+			}
+		}
+	}
+}
+
+// BenchmarkAnalyzeEscapes measures one escape pass over a function with
+// every edge kind the lattice handles (go captures, call-argument roots,
+// channel sends, aliasing, stores through escaping and global bases);
+// the allocation count is the per-function cost the lint driver pays for
+// each scanned function in the shareguard substrate.
+func BenchmarkAnalyzeEscapes(b *testing.B) {
+	const src = `package p
+import "sync"
+var sink *int
+type box struct{ n *int }
+func f() {
+	v := new(int)
+	a := new(box)
+	w := v
+	a.n = w
+	sink = v
+	ch := make(chan *box, 1)
+	ch <- a
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		*v++
+	}()
+	wg.Wait()
+}
+`
+	f, info := buildFunc(b, src, "f")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ssa.AnalyzeEscapes(f, info)
+	}
+}

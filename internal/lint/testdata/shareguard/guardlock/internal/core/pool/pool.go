@@ -1,0 +1,75 @@
+// Package pool is the guardlock fixture: shared fields with locking
+// evidence but inconsistent coverage, and //lint:guardedby annotations
+// both honored and violated.
+package pool
+
+import "sync"
+
+type queue struct {
+	mu sync.Mutex
+	// items is the inconsistency positive: locked in work, bare in
+	// drain, so no single lock covers every shared access.
+	items []int
+
+	gmu sync.Mutex
+	// total pins its guard; one access in work and one in observe skip
+	// the lock.
+	//lint:guardedby gmu
+	total int
+
+	// bad carries a malformed annotation: no such sibling field.
+	//lint:guardedby nosuch
+	bad int
+
+	// worse names a sibling that is not a mutex.
+	//lint:guardedby items
+	worse int
+
+	cmu sync.Mutex
+	// hits is the negative: every shared access holds cmu.
+	hits int
+
+	done chan struct{}
+}
+
+func serve() {
+	q := &queue{done: make(chan struct{})}
+	go q.work()
+	<-q.done
+}
+
+func (q *queue) work() {
+	q.mu.Lock()
+	q.items = append(q.items, 1)
+	q.mu.Unlock()
+	q.drain()
+
+	q.gmu.Lock()
+	q.total++
+	q.gmu.Unlock()
+	q.total++ // want: guardlock (annotated guard not held)
+
+	q.cmu.Lock()
+	q.hits++
+	q.cmu.Unlock()
+
+	q.observe()
+	close(q.done)
+}
+
+func (q *queue) drain() {
+	q.items = nil // want: guardlock (mu held at the other sites, not here)
+}
+
+// observe exercises the multi-line suppression path: both statements
+// wrap across lines, the directive above the first one suppresses the
+// finding inside it, the twin below surfaces.
+func (q *queue) observe() {
+	//lint:ignore guardlock fixture: wrapped-statement directive coverage
+	sink(
+		q.total)
+	sink(
+		q.total) // want: guardlock (annotated guard not held)
+}
+
+func sink(int) {}

@@ -1,0 +1,46 @@
+// Package job is the pubimmut fixture: safe publication — constructor
+// writes before the go statement are immutable-after-publish, writes
+// after it need synchronization.
+package job
+
+import "sync"
+
+type job struct {
+	mu   sync.Mutex
+	name string
+	hits int
+	done chan struct{}
+}
+
+func start() *job {
+	j := &job{done: make(chan struct{})}
+	j.name = "init" // pre-publication constructor write: exempt
+	go j.run()
+	j.name = "late" // want: pubimmut
+	j.mu.Lock()
+	j.hits = 1 // post-publication but locked: fine
+	j.mu.Unlock()
+	return j
+}
+
+func (j *job) run() {
+	_ = j.name
+	close(j.done)
+}
+
+// local never publishes its value, so its writes are plain local state.
+func local() int {
+	j := &job{done: make(chan struct{})}
+	j.hits = 2
+	return j.hits
+}
+
+// startQuiet is the suppressed case: the same post-publication write,
+// acknowledged in-line.
+func startQuiet() *job {
+	j := &job{done: make(chan struct{})}
+	go j.run()
+	//lint:ignore pubimmut fixture: post-publication write acknowledged
+	j.name = "late"
+	return j
+}
