@@ -21,6 +21,12 @@
 #                      which fails if the grid scan + batched kernel
 #                      run slower than the legacy sweep baseline or
 #                      drift its cost counters (writes BENCH_PR6.json),
+#                      then the pr9 sharding gate, which fails if the
+#                      sharded scatter-gather run deviates from the
+#                      monolithic answer, prunes under 30% of the
+#                      planned shard pairs, runs slower than the
+#                      monolithic baseline, or processes more node
+#                      pairs than it (writes BENCH_PR9.json),
 #                      then the ctxflow cancellation gate, which fails
 #                      if threading a live (never-cancelled) context
 #                      through the PR6-optimized hot path costs more
@@ -79,6 +85,7 @@ bench() {
 	go test -run '^$' -bench 'BenchmarkPairHeap' -benchtime 100x -benchmem ./internal/core
 	go run ./cmd/cpqbench -experiment leafscan -pr4 BENCH_PR4.json
 	go run ./cmd/cpqbench -experiment pr6 -pr6 BENCH_PR6.json
+	go run ./cmd/cpqbench -experiment pr9 -pr9 BENCH_PR9.json
 	go run ./cmd/cpqbench -experiment ctxflow
 }
 

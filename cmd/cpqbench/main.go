@@ -13,8 +13,11 @@
 //	cpqbench -leafscan auto        # let the cost-model advisor pick per run
 //	cpqbench -batch-expand         # batched heap dequeues in sequential HEAP
 //	cpqbench -nodecache 4096       # attach a decoded-node cache to every tree
+//	cpqbench -shards 8             # run every query sharded over 8 STR tiles
+//	cpqbench -shard-transport inproc  # transport for sharded runs (or CPQ_SHARDS env)
 //	cpqbench -pr4 BENCH_PR4.json   # run the leafscan ablation, write its report
 //	cpqbench -pr6 BENCH_PR6.json   # run the kernel ablation, write its report
+//	cpqbench -pr9 BENCH_PR9.json   # run the sharding gate, write its report
 //	cpqbench -timeout 2m           # wall-clock budget (or CPQ_TIMEOUT); exits 3 with partial totals
 //	cpqbench -trace trace.jsonl    # write every query's trace events as JSON lines
 //	cpqbench -metrics-addr :9090   # serve /metrics (Prometheus text) and /debug/vars
@@ -40,6 +43,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/shard"
 )
 
 // envTimeout reads the CPQ_TIMEOUT environment knob, the -timeout flag's
@@ -55,6 +59,20 @@ func envTimeout() time.Duration {
 		fatal(fmt.Errorf("CPQ_TIMEOUT: %w", err))
 	}
 	return d
+}
+
+// envShards reads the CPQ_SHARDS environment knob, the -shards flag's
+// default. A malformed value aborts the run.
+func envShards() int {
+	v := os.Getenv("CPQ_SHARDS")
+	if v == "" {
+		return 0
+	}
+	var n int
+	if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+		fatal(fmt.Errorf("CPQ_SHARDS: %w", err))
+	}
+	return n
 }
 
 // summary is the -json record emitted per experiment: wall time plus the
@@ -76,8 +94,11 @@ func main() {
 		leafScan   = flag.String("leafscan", "", "force a leaf scan strategy on every run: sweep, brute, grid or auto (default: per-experiment choice)")
 		batchExp   = flag.Bool("batch-expand", false, "batched heap dequeues in the sequential HEAP algorithm on every run")
 		nodeCache  = flag.Int("nodecache", 0, "decoded-node cache capacity (nodes per tree) attached to experiment trees; 0 = no cache (the paper's exact disk accounting)")
+		shards     = flag.Int("shards", envShards(), "run every query sharded over this many STR tiles (scatter-gather executor); <= 1 = the monolithic join (default from CPQ_SHARDS)")
+		shardTr    = flag.String("shard-transport", "inproc", "transport carrying shard-pair joins of sharded runs (inproc)")
 		pr4        = flag.String("pr4", "", "run the leafscan ablation and write its JSON report to this file")
 		pr6        = flag.String("pr6", "", "run the pr6 kernel ablation and write its JSON report to this file")
+		pr9        = flag.String("pr9", "", "run the pr9 sharding gate and write its JSON report to this file")
 		traceFile  = flag.String("trace", "", "write every query's trace events to this file as JSON lines")
 		metricsAt  = flag.String("metrics-addr", "", "serve engine metrics on this address (/metrics Prometheus text, /debug/vars expvar)")
 		pprofOn    = flag.Bool("pprof", false, "with -metrics-addr, also mount net/http/pprof under /debug/pprof/")
@@ -127,6 +148,15 @@ func main() {
 	}
 	if *nodeCache > 0 {
 		bench.SetDefaultNodeCache(*nodeCache)
+	}
+	switch *shardTr {
+	case "inproc":
+		bench.SetDefaultShardTransport(shard.InProc{})
+	default:
+		fatal(fmt.Errorf("unknown -shard-transport %q; want inproc", *shardTr))
+	}
+	if *shards > 1 {
+		bench.SetDefaultShards(*shards)
 	}
 
 	var tracer *obs.JSONLWriter
@@ -196,11 +226,11 @@ func main() {
 			toRun = append(toRun, e)
 		}
 	}
-	// -pr4/-pr6 need their ablations; append them if not selected.
+	// -pr4/-pr6/-pr9 need their ablations; append them if not selected.
 	for _, need := range []struct {
 		flagVal string
 		exp     string
-	}{{*pr4, "leafscan"}, {*pr6, "pr6"}} {
+	}{{*pr4, "leafscan"}, {*pr6, "pr6"}, {*pr9, "pr9"}} {
 		if need.flagVal == "" {
 			continue
 		}
@@ -278,6 +308,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(w, "wrote pr6 report to %s\n", *pr6)
+	}
+	if *pr9 != "" {
+		rep := bench.PR9LastReport()
+		if rep == nil {
+			fatal(fmt.Errorf("pr9 sharding gate produced no report"))
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*pr9, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "wrote pr9 report to %s\n", *pr9)
 	}
 }
 

@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rtree"
+	"repro/internal/shard"
+	"repro/internal/storage"
+)
+
+// This file is the sharded scatter-gather gate behind BENCH_PR9.json: a
+// clustered 100,000 x 100,000 K-CPQ run once monolithically (sequential
+// HEAP, the PR 6 baseline configuration) and once through the
+// internal/shard executor at T=8 tiles. It is the regression gate for
+// the sharded path: the experiment fails if the sharded distances or
+// tie order deviate from the monolithic answer, if tile-level pruning
+// eliminates less than 30% of the planned shard pairs, if the sharded
+// wall clock exceeds the monolithic baseline, or if the shard joins
+// together process more node pairs than the monolithic join (the
+// tile-pruning envelope).
+
+// PR9Run is one measured configuration of the comparison.
+type PR9Run struct {
+	Label     string  `json:"label"`
+	Sharded   bool    `json:"sharded"`
+	Tiles     int     `json:"tiles"`
+	Workers   int     `json:"workers"`
+	WallMS    float64 `json:"wall_ms"`
+	Accesses  int64   `json:"accesses"`
+	NodePairs int64   `json:"node_pairs"`
+}
+
+// PR9Report is the machine-readable record of one pr9 experiment run
+// (cpqbench -pr9 writes it to BENCH_PR9.json).
+type PR9Report struct {
+	N          int     `json:"n"`
+	Scale      float64 `json:"scale"`
+	K          int     `json:"k"`
+	BufferB    int     `json:"buffer_pages"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Tiles      int     `json:"tiles"`
+	Transport  string  `json:"transport"`
+	Baseline   PR9Run  `json:"baseline"`
+	Sharded    PR9Run  `json:"sharded"`
+	// PartitionMS is the STR re-partitioning cost (both sets, tree
+	// builds included), kept apart from the join wall clock the gate
+	// compares: the monolithic baseline's tree builds are likewise
+	// excluded from its wall time.
+	PartitionMS float64 `json:"partition_ms"`
+	// PlannedPairs / PrunedPairs are the executor's shard-pair counts;
+	// PruneFraction = pruned / planned is gated at >= 0.30.
+	PlannedPairs  int     `json:"planned_pairs"`
+	PrunedPairs   int     `json:"pruned_pairs"`
+	PruneFraction float64 `json:"prune_fraction"`
+	// WallRatio is sharded / baseline join wall clock (gated at <= 1).
+	WallRatio float64 `json:"wall_ratio"`
+	// FinalBound is the broadcast bound (a distance) at the end of the
+	// sharded run.
+	FinalBound float64 `json:"final_bound"`
+	// Shards holds the executor's per-shard rows: tile MBR, cardinalities,
+	// planned/pruned pair counts and the local bound trajectory.
+	Shards []shard.ShardReport `json:"shards"`
+}
+
+var pr9Last struct {
+	mu     sync.Mutex
+	report *PR9Report
+}
+
+// PR9LastReport returns the report of the most recent "pr9" experiment
+// run, nil if it has not run.
+func PR9LastReport() *PR9Report {
+	pr9Last.mu.Lock()
+	defer pr9Last.mu.Unlock()
+	return pr9Last.report
+}
+
+// buildClusteredItems generates one clustered point set and its item
+// slice (record ids 0..n-1).
+func buildClusteredItems(seed int64, n int) []rtree.Item {
+	pts := dataset.Clustered(seed, n)
+	items := make([]rtree.Item, len(pts))
+	for i, p := range pts {
+		items[i] = rtree.Item{Rect: p.Rect(), Ref: int64(i)}
+	}
+	return items
+}
+
+// buildMonoTree bulk loads one monolithic tree over items on a sharded
+// pool, no node cache (the gate compares the paper's exact accounting).
+func buildMonoTree(cfg rtree.Config, items []rtree.Item) (*rtree.Tree, error) {
+	pool := storage.NewShardedBufferPool(storage.NewMemFile(cfg.PageSize), 512, 16, storage.LRU)
+	tr, err := rtree.New(pool, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.BulkLoad(items, 0.7); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// runPR9 is the "pr9" experiment.
+func runPR9(l *Lab, w io.Writer) error {
+	cfg := l.Config
+	if cfg.PageSize == 0 {
+		cfg = rtree.DefaultConfig()
+	}
+	n := l.ScaledN(100000)
+	const (
+		k      = 100
+		buffer = 512
+		tiles  = 8
+		reps   = 3
+	)
+	workers := runtime.GOMAXPROCS(0)
+	opts := core.DefaultOptions(core.Heap)
+
+	itemsA := buildClusteredItems(93, n)
+	itemsB := buildClusteredItems(94, n)
+	ta, err := buildMonoTree(cfg, itemsA)
+	if err != nil {
+		return err
+	}
+	tb, err := buildMonoTree(cfg, itemsB)
+	if err != nil {
+		return err
+	}
+
+	// Monolithic baseline: sequential HEAP, best of reps cold runs.
+	var basePairs []core.Pair
+	var baseStats core.Stats
+	baseBest := time.Duration(1<<62 - 1)
+	for r := 0; r < reps; r++ {
+		prepare(ta, tb, buffer)
+		start := time.Now()
+		pairs, s, err := core.KClosestPairs(ta, tb, k, opts)
+		if err != nil {
+			return err
+		}
+		if wall := time.Since(start); wall < baseBest {
+			baseBest = wall
+		}
+		basePairs, baseStats = pairs, s
+	}
+
+	// Sharded run: partition once (timed separately), then best of reps
+	// executor runs at T tiles.
+	partStart := time.Now()
+	set, err := shard.PartitionContext(defaultCtx(), itemsA, itemsB, shard.Config{Tiles: tiles, Tree: cfg})
+	if err != nil {
+		return err
+	}
+	defer set.Close()
+	partWall := time.Since(partStart)
+
+	ex := shard.Executor{Set: set, Workers: workers}
+	var res shard.Result
+	shardBest := time.Duration(1<<62 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		res, err = ex.RunContext(defaultCtx(), k, opts)
+		if err != nil {
+			return err
+		}
+		if wall := time.Since(start); wall < shardBest {
+			shardBest = wall
+		}
+	}
+
+	// Equivalence gate: bit-identical distances and tie order.
+	if len(res.Pairs) != len(basePairs) {
+		return fmt.Errorf("pr9: sharded run returned %d pairs, monolithic %d", len(res.Pairs), len(basePairs))
+	}
+	for i := range basePairs {
+		b, g := basePairs[i], res.Pairs[i]
+		if math.Float64bits(b.Dist) != math.Float64bits(g.Dist) {
+			return fmt.Errorf("pr9: pair %d distance %g deviates from monolithic %g", i, g.Dist, b.Dist)
+		}
+		if b.RefP != g.RefP || b.RefQ != g.RefQ {
+			return fmt.Errorf("pr9: pair %d tie order (%d,%d) deviates from monolithic (%d,%d)",
+				i, g.RefP, g.RefQ, b.RefP, b.RefQ)
+		}
+	}
+
+	rep := &PR9Report{
+		N:          n,
+		Scale:      l.scale(),
+		K:          k,
+		BufferB:    buffer,
+		GOMAXPROCS: workers,
+		Tiles:      tiles,
+		Transport:  res.Transport,
+		Baseline: PR9Run{
+			Label:   "monolithic HEAP",
+			Tiles:   1,
+			Workers: 1,
+			WallMS:  float64(baseBest) / float64(time.Millisecond),
+
+			Accesses:  baseStats.Accesses(),
+			NodePairs: baseStats.NodePairsProcessed,
+		},
+		Sharded: PR9Run{
+			Label:     fmt.Sprintf("sharded HEAP T=%d", tiles),
+			Sharded:   true,
+			Tiles:     tiles,
+			Workers:   workers,
+			WallMS:    float64(shardBest) / float64(time.Millisecond),
+			Accesses:  res.Stats.Accesses(),
+			NodePairs: res.Stats.NodePairsProcessed,
+		},
+		PartitionMS:  float64(partWall) / float64(time.Millisecond),
+		PlannedPairs: res.PlannedPairs,
+		PrunedPairs:  res.PrunedPairs,
+		FinalBound:   res.FinalBound,
+		Shards:       res.Shards,
+	}
+	if rep.PlannedPairs > 0 {
+		rep.PruneFraction = float64(rep.PrunedPairs) / float64(rep.PlannedPairs)
+	}
+	if rep.Baseline.WallMS > 0 {
+		rep.WallRatio = rep.Sharded.WallMS / rep.Baseline.WallMS
+	}
+
+	t := newTable(
+		fmt.Sprintf("Ablation: sharded scatter-gather vs monolithic join (clustered %d/%d bulk-loaded, K=%d, B=%d, HEAP)", n, n, k, buffer),
+		"configuration", "tiles", "wkr", "wall", "accesses", "node pairs", "planned", "pruned")
+	for _, r := range []struct {
+		run             PR9Run
+		planned, pruned string
+	}{
+		{rep.Baseline, "-", "-"},
+		{rep.Sharded, fmt.Sprintf("%d", rep.PlannedPairs), fmt.Sprintf("%d", rep.PrunedPairs)},
+	} {
+		t.addRow(r.run.Label, fmt.Sprintf("%d", r.run.Tiles), fmt.Sprintf("%d", r.run.Workers),
+			(time.Duration(r.run.WallMS * float64(time.Millisecond))).Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", r.run.Accesses),
+			fmt.Sprintf("%d", r.run.NodePairs),
+			r.planned, r.pruned)
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+
+	// The regression gates of `ci.sh bench`. The wall-clock and pruning
+	// envelopes only mean something once the workload amortizes the
+	// executor's fixed per-tile costs; below gateMinN (the -quick scale)
+	// they are reported, not enforced — the equivalence gate above always
+	// runs.
+	const gateMinN = 10000
+	if n < gateMinN {
+		if _, err := fmt.Fprintf(w,
+			"perf gates reported only: n=%d is below the gating scale %d.\n", n, gateMinN); err != nil {
+			return err
+		}
+	} else {
+		if rep.PruneFraction < 0.30 {
+			return fmt.Errorf("pr9: tile-level pruning eliminated only %.0f%% of %d planned shard pairs (want >= 30%%)",
+				rep.PruneFraction*100, rep.PlannedPairs)
+		}
+		if rep.WallRatio > 1 {
+			return fmt.Errorf("pr9: sharded T=%d wall clock %.1fms exceeds the monolithic baseline %.1fms",
+				tiles, rep.Sharded.WallMS, rep.Baseline.WallMS)
+		}
+		if rep.Sharded.NodePairs > rep.Baseline.NodePairs {
+			return fmt.Errorf("pr9: shard joins processed %d node pairs, above the monolithic envelope %d",
+				rep.Sharded.NodePairs, rep.Baseline.NodePairs)
+		}
+	}
+
+	pr9Last.mu.Lock()
+	pr9Last.report = rep
+	pr9Last.mu.Unlock()
+
+	_, err = fmt.Fprintf(w,
+		"sharded/monolithic wall ratio %.2f (partition %.1fms apart); shard-pair pruning %d/%d (%.0f%%); final bound %.3g.\n\n",
+		rep.WallRatio, rep.PartitionMS, rep.PrunedPairs, rep.PlannedPairs, rep.PruneFraction*100, rep.FinalBound)
+	return err
+}

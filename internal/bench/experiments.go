@@ -36,6 +36,7 @@ var registry = []Experiment{
 	{"parallel", "Parallel HEAP engine: wall-clock speedup and accesses vs workers", runParallel},
 	{"leafscan", "Ablation: plane-sweep vs brute leaf scan, decoded-node cache on/off", runLeafScan},
 	{"pr6", "Ablation: grid leaf scan, batched MINMINDIST kernel, heap-batch expansion", runPR6},
+	{"pr9", "Gate: sharded scatter-gather (STR tiles, broadcast bound) vs monolithic join", runPR9},
 	{"ctxflow", "Gate: cancellation-poll overhead of the context-threaded hot path", runCtxFlow},
 }
 

@@ -8,6 +8,7 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/incremental"
 	"repro/internal/obs"
 	"repro/internal/rtree"
+	"repro/internal/shard"
 	"repro/internal/storage"
 )
 
@@ -211,6 +213,39 @@ func SetDefaultLeafScanAuto() { defaultLeafScan.Store(leafScanAuto) }
 // ClearDefaultLeafScan restores the per-experiment leaf scan choice.
 func ClearDefaultLeafScan() { defaultLeafScan.Store(0) }
 
+// defaultShards, when above 1, reroutes every RunCore call through the
+// scatter-gather executor of internal/shard with that many spatial
+// tiles: cpqbench -shards and the CPQ_SHARDS env knob plumb through
+// here. A rerouted query re-partitions both sets (STR tiles, one tree
+// pair and buffer pool per tile) and measures I/O on the shard pools,
+// so its access counts are not comparable to the paper's monolithic
+// figures; the knob exists to A/B the sharded executor across every
+// experiment, as -parallel does for the parallel engine. The result
+// distances and tie order stay bit-identical to the monolithic join.
+var defaultShards atomic.Int64
+
+// SetDefaultShards reroutes experiments run afterwards through the
+// sharded executor with t tiles (values <= 1 restore the monolithic
+// join).
+func SetDefaultShards(t int) { defaultShards.Store(int64(t)) }
+
+// defaultShardTransport carries the transport of sharded RunCore calls;
+// nil means in-process. Boxed because atomic.Pointer needs a concrete
+// type.
+type transportBox struct{ t shard.Transport }
+
+var defaultShardTransport atomic.Pointer[transportBox]
+
+// SetDefaultShardTransport selects the transport used by sharded
+// RunCore calls (nil restores the in-process default).
+func SetDefaultShardTransport(t shard.Transport) {
+	if t == nil {
+		defaultShardTransport.Store(nil)
+		return
+	}
+	defaultShardTransport.Store(&transportBox{t: t})
+}
+
 // defaultBatchExpand, when true, turns on Options.BatchExpand (batched
 // heap dequeues in the sequential HEAP algorithm) for every RunCore call:
 // cpqbench -batch-expand plumbs through here.
@@ -317,6 +352,11 @@ func init() {
 			SetDefaultNodeCache(n)
 		}
 	}
+	if v := os.Getenv("CPQ_SHARDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 1 {
+			SetDefaultShards(n)
+		}
+	}
 }
 
 // Totals aggregates the cost of every RunCore / RunIncremental call since
@@ -399,7 +439,13 @@ func RunCore(ta, tb *rtree.Tree, k int, opts core.Options, bufferPages int) (cor
 	if opts.Metrics == nil {
 		opts.Metrics = defaultMetrics.Load()
 	}
-	_, stats, err := core.KClosestPairsContext(defaultCtx(), ta, tb, k, opts)
+	var stats core.Stats
+	var err error
+	if t := int(defaultShards.Load()); t > 1 {
+		stats, err = runShardedQuery(ta, tb, k, opts, t)
+	} else {
+		_, stats, err = core.KClosestPairsContext(defaultCtx(), ta, tb, k, opts)
+	}
 	if err == nil {
 		totQueries.Add(1)
 		totAccesses.Add(stats.Accesses())
@@ -413,6 +459,45 @@ func RunCore(ta, tb *rtree.Tree, k int, opts core.Options, bufferPages int) (cor
 		totCacheMisses.Add(stats.NodeCacheMisses)
 	}
 	return stats, err
+}
+
+// runShardedQuery executes one RunCore query through the scatter-gather
+// executor: drain both trees, partition into tiles (the shard trees
+// inherit the left tree's geometry), join the tile pairs under the
+// broadcast bound. The I/O counters come from the shard pools.
+func runShardedQuery(ta, tb *rtree.Tree, k int, opts core.Options, tiles int) (core.Stats, error) {
+	ctx := defaultCtx()
+	itemsA, err := drainItems(ta)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	itemsB, err := drainItems(tb)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	set, err := shard.PartitionContext(ctx, itemsA, itemsB, shard.Config{Tiles: tiles, Tree: ta.Config()})
+	if err != nil {
+		return core.Stats{}, err
+	}
+	ex := shard.Executor{Set: set}
+	if b := defaultShardTransport.Load(); b != nil {
+		ex.Transport = b.t
+	}
+	res, err := ex.RunContext(ctx, k, opts)
+	if err != nil {
+		return core.Stats{}, errors.Join(err, set.Close())
+	}
+	return res.Stats, set.Close()
+}
+
+// drainItems reads every item of a tree for re-partitioning.
+func drainItems(t *rtree.Tree) ([]rtree.Item, error) {
+	out := make([]rtree.Item, 0, t.Len())
+	err := t.All(func(it rtree.Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out, err
 }
 
 // RunIncremental executes one K-bounded incremental distance join under

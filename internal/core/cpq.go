@@ -98,11 +98,10 @@ func KClosestPairsContext(ctx context.Context, ta, tb *rtree.Tree, k int, opts O
 		stats.IOQ = tb.Pool().Stats().Sub(startB)
 	}
 	ca := ta.NodeCacheStats().Sub(startCA)
-	stats.NodeCacheHits, stats.NodeCacheMisses = ca.Hits, ca.Misses
+	stats.Merge(Stats{NodeCacheHits: ca.Hits, NodeCacheMisses: ca.Misses})
 	if ta != tb {
 		cb := tb.NodeCacheStats().Sub(startCB)
-		stats.NodeCacheHits += cb.Hits
-		stats.NodeCacheMisses += cb.Misses
+		stats.Merge(Stats{NodeCacheHits: cb.Hits, NodeCacheMisses: cb.Misses})
 	}
 	pairs := j.results()
 	j.traceQueryEnd(len(pairs), nil)

@@ -35,6 +35,12 @@ type join struct {
 	mA, mB               float64 // minimum node occupancies as floats
 	metric               geom.Metric
 
+	// shared is the optional cross-join bound (Options.SharedBound): the
+	// effective pruning distance T folds it in, and publishShared pushes
+	// this join's own sound upper bounds back. nil for self-contained
+	// queries.
+	shared *SharedBound
+
 	// cancel is the stride-gated context poll the sequential drivers call
 	// once per traversal step (heap pop, recursive visit, range-join pop).
 	cancel cancelGate
@@ -55,6 +61,7 @@ func newJoin(ta, tb *rtree.Tree, k int, opts Options) (*join, error) {
 		mA:     float64(ta.Config().MinEntries),
 		mB:     float64(tb.Config().MinEntries),
 		metric: opts.Metric,
+		shared: opts.SharedBound,
 	}
 	j.useTie = opts.Tie != TieNone &&
 		(opts.Algorithm == SortedDistances || opts.Algorithm == Heap)
@@ -71,9 +78,27 @@ func newJoin(ta, tb *rtree.Tree, k int, opts Options) (*join, error) {
 }
 
 // T returns the current pruning distance (squared): candidate node pairs
-// with MINMINDIST > T cannot contribute a result pair.
+// with MINMINDIST > T cannot contribute a result pair. With a shared
+// cross-join bound attached (Options.SharedBound) the fold includes it:
+// pairs farther than a distance already achieved elsewhere in the
+// scatter-gather cannot enter the merged global result either.
 func (j *join) T() float64 {
-	return math.Min(j.kheap.threshold(), j.bound)
+	return math.Min(math.Min(j.kheap.threshold(), j.bound), j.shared.Load())
+}
+
+// publishShared forwards the join's current sound global upper bound —
+// min(K-heap threshold, auxiliary bound), both valid beyond this join's
+// subtree product (see SharedBound) — to the cross-join bound. No-op
+// without one. Sequential drivers call it after every tightening site
+// (leaf scans, expansion bound updates); the parallel engine forwards
+// its atomic bound's CAS successes instead (see parallel.go).
+func (j *join) publishShared() {
+	if j.shared == nil {
+		return
+	}
+	if t := math.Min(j.kheap.threshold(), j.bound); !math.IsInf(t, 1) {
+		j.shared.Tighten(t)
+	}
 }
 
 // prunes reports whether the algorithm uses MINMINDIST pruning at all
@@ -159,6 +184,7 @@ func (j *join) expandInto(p nodePair, na, nb *rtree.Node, dst []nodePair) []node
 			if b := j.boundCandidate(subs, mode, na, nb); b < j.bound {
 				j.bound = b
 				j.traceBound(j.boundSource())
+				j.publishShared()
 			}
 		}
 		if !j.prunes() {
@@ -178,6 +204,7 @@ func (j *join) expandInto(p nodePair, na, nb *rtree.Node, dst []nodePair) []node
 	if j.tightens() && e.bound < j.bound {
 		j.bound = e.bound
 		j.traceBound(j.boundSource())
+		j.publishShared()
 	}
 	T := math.Inf(1)
 	if j.prunes() {
@@ -294,9 +321,12 @@ func nodeGuaranteedPoints(m float64, n *rtree.Node) float64 {
 
 // scanLeaves performs step CP3 for the sequential algorithms: evaluate the
 // point pairs between two leaves against the join's K-heap, pruned by the
-// auxiliary bound (the K-heap's own threshold applies in any case).
+// auxiliary bound and — when attached — the shared cross-join bound (the
+// K-heap's own threshold applies in any case). Accepted pairs may have
+// tightened the K-heap threshold, so the new value is published back.
 func (j *join) scanLeaves(na, nb *rtree.Node) {
-	j.scanLeavesInto(na, nb, j.kheap, j.bound)
+	j.scanLeavesInto(na, nb, j.kheap, math.Min(j.bound, j.shared.Load()))
+	j.publishShared()
 }
 
 // scanLeavesInto evaluates the point pairs between two leaves against the

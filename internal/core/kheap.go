@@ -6,10 +6,11 @@ import (
 )
 
 // kHeap is the result structure of Section 3.8: a bounded max-heap of the
-// K closest point pairs found so far, ordered by squared distance with the
-// largest on top. While the heap is not yet full its threshold is +Inf;
-// afterwards it is the top pair's distance, and a new pair displaces the
-// top when strictly closer.
+// K closest point pairs found so far, ordered by the lessPair total order
+// (squared distance, exact ties by refs) with the largest on top. While
+// the heap is not yet full its threshold is +Inf; afterwards it is the
+// top pair's distance, and a new pair displaces the top when smaller
+// under the total order.
 type kHeap struct {
 	k     int
 	pairs []kPair // binary max-heap on distSq
@@ -42,24 +43,42 @@ func (h *kHeap) full() bool { return len(h.pairs) >= h.k }
 // reuse their local heap between merges).
 func (h *kHeap) reset() { h.pairs = h.pairs[:0] }
 
-// wouldAccept reports whether a pair at the given distance (squared) would
-// enter the heap. Leaf scans call it before materialising a kPair, so
-// rejected candidates — the overwhelming majority once the heap is full —
-// cost one float comparison and no copying.
-func (h *kHeap) wouldAccept(distSq float64) bool {
-	return len(h.pairs) < h.k || distSq < h.pairs[0].distSq
+// lessPair is the heap's total order: ascending squared distance, exact
+// ties broken by refs. Ordering members totally (not just by distance)
+// makes the retained set a pure function of the candidate multiset —
+// scan order, worker interleaving and shard boundaries cannot change
+// which of several equidistant pairs survives at the K-th position, so
+// parallel and scatter-gather runs reproduce the sequential result
+// bit-for-bit even at boundary ties.
+func lessPair(a, b *kPair) bool {
+	if a.distSq != b.distSq {
+		return a.distSq < b.distSq
+	}
+	if a.refP != b.refP {
+		return a.refP < b.refP
+	}
+	return a.refQ < b.refQ
 }
 
-// offer inserts a candidate pair if it qualifies, returning true when the
-// result set changed.
+// wouldAccept reports whether a pair at the given distance (squared)
+// could enter the heap. Leaf scans call it before materialising a kPair,
+// so rejected candidates — the overwhelming majority once the heap is
+// full — cost one float comparison and no copying. Distances equal to
+// the threshold pass: offer then settles the tie by refs.
+func (h *kHeap) wouldAccept(distSq float64) bool {
+	return len(h.pairs) < h.k || distSq <= h.pairs[0].distSq
+}
+
+// offer inserts a candidate pair if it qualifies under the total order,
+// returning true when the result set changed.
 func (h *kHeap) offer(p kPair) bool {
-	if !h.wouldAccept(p.distSq) {
-		return false
-	}
 	if len(h.pairs) < h.k {
 		h.pairs = append(h.pairs, p)
 		h.siftUp(len(h.pairs) - 1)
 		return true
+	}
+	if !lessPair(&p, &h.pairs[0]) {
+		return false
 	}
 	h.pairs[0] = p
 	h.siftDown(0)
@@ -70,23 +89,14 @@ func (h *kHeap) offer(p kPair) bool {
 // paper reports K-CP results ordered by distance).
 func (h *kHeap) sorted() []kPair {
 	out := append([]kPair(nil), h.pairs...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].distSq != out[j].distSq {
-			return out[i].distSq < out[j].distSq
-		}
-		// Deterministic order among exact ties.
-		if out[i].refP != out[j].refP {
-			return out[i].refP < out[j].refP
-		}
-		return out[i].refQ < out[j].refQ
-	})
+	sort.Slice(out, func(i, j int) bool { return lessPair(&out[i], &out[j]) })
 	return out
 }
 
 func (h *kHeap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.pairs[parent].distSq >= h.pairs[i].distSq {
+		if !lessPair(&h.pairs[parent], &h.pairs[i]) {
 			return
 		}
 		h.pairs[parent], h.pairs[i] = h.pairs[i], h.pairs[parent]
@@ -98,10 +108,10 @@ func (h *kHeap) siftDown(i int) {
 	n := len(h.pairs)
 	for {
 		largest := i
-		if l := 2*i + 1; l < n && h.pairs[l].distSq > h.pairs[largest].distSq {
+		if l := 2*i + 1; l < n && lessPair(&h.pairs[largest], &h.pairs[l]) {
 			largest = l
 		}
-		if r := 2*i + 2; r < n && h.pairs[r].distSq > h.pairs[largest].distSq {
+		if r := 2*i + 2; r < n && lessPair(&h.pairs[largest], &h.pairs[r]) {
 			largest = r
 		}
 		if largest == i {

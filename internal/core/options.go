@@ -297,6 +297,14 @@ type Options struct {
 	// SlowLog, when non-nil, aggregates per-query cost reports and writes
 	// queries slower than its threshold as JSON lines.
 	SlowLog *obs.SlowQueryLog
+	// SharedBound, when non-nil, couples this query to other in-flight
+	// joins through an external tighten-only pruning bound (the shard
+	// executor's broadcast bound, DESIGN.md §13). The join prunes against
+	// min(T, SharedBound.Load()) and publishes its own sound global upper
+	// bounds back through Tighten, so a tight pair found by any
+	// cooperating join prunes all the others. nil — the default — keeps
+	// the query self-contained and byte-identical to earlier PRs.
+	SharedBound *SharedBound
 	// Parallelism is the number of worker goroutines for the HEAP
 	// algorithm. 0 and 1 run the paper's sequential algorithm (the zero
 	// value keeps every existing call byte-identical, including disk

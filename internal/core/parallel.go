@@ -112,6 +112,7 @@ func (j *join) runHeapParallel(ctx context.Context, root nodePair, workers int) 
 	s := &parHeap{j: j, timed: j.opts.Metrics != nil}
 	s.cond.L = &s.mu
 	s.bound.store(math.Inf(1))
+	s.pullShared() // seed from bounds other cooperating joins already found
 	if root.minminSq <= s.bound.load() {
 		s.frontier.push(root)
 		s.j.stats.observeQueueLen(s.frontier.Len())
@@ -241,6 +242,7 @@ func (s *parHeap) process(p nodePair, local *kHeap, localMin *float64, subs *[]n
 			if b := j.boundCandidate(raw, mode, na, nb); !math.IsInf(b, 1) {
 				if old, ok := s.bound.tighten(b); ok {
 					j.traceBoundValue(old, b, j.boundSource())
+					s.pushShared(b)
 				}
 			}
 		}
@@ -262,6 +264,7 @@ func (s *parHeap) process(p nodePair, local *kHeap, localMin *float64, subs *[]n
 		if j.tightens() && !math.IsInf(e.bound, 1) {
 			if old, ok := s.bound.tighten(e.bound); ok {
 				j.traceBoundValue(old, e.bound, j.boundSource())
+				s.pushShared(e.bound)
 			}
 		}
 		*subs = e.finish((*subs)[:0], s.bound.load())
@@ -300,6 +303,7 @@ func (s *parHeap) take(ctx context.Context, dst []nodePair) []nodePair {
 			// The bound is loaded once so the popBatch limit cannot fall
 			// below the top key the dead-frontier check just admitted —
 			// the claimed batch is never empty.
+			s.pullShared()
 			b := s.bound.load()
 			if s.frontier.pairs[0].minminSq > b {
 				s.frontier.pairs = s.frontier.pairs[:0]
@@ -372,8 +376,28 @@ func (s *parHeap) merge(local *kHeap) {
 		th := s.j.kheap.threshold()
 		if old, ok := s.bound.tighten(th); ok {
 			s.j.traceBoundValue(old, th, obs.SourceMerge)
+			s.pushShared(th)
 		}
 	}
 	s.gmu.Unlock()
 	local.reset()
+}
+
+// pullShared folds the cross-join bound (Options.SharedBound) into the
+// published bound, so the frontier purge and the batch limit observe
+// tightenings found by other cooperating joins. No-op without one.
+func (s *parHeap) pullShared() {
+	if sb := s.j.shared; sb != nil {
+		s.bound.tighten(sb.Load())
+	}
+}
+
+// pushShared forwards a successful local tighten to the cross-join
+// bound. Only CAS successes need forwarding: a failed local tighten
+// means the published bound is already at most the candidate, and every
+// published value has been forwarded before.
+func (s *parHeap) pushShared(v float64) {
+	if sb := s.j.shared; sb != nil {
+		sb.Tighten(v)
+	}
 }

@@ -1,0 +1,58 @@
+package core
+
+import "math"
+
+// SharedBound is a tighten-only pruning bound shared across cooperating
+// joins. The shard scatter-gather executor injects one (via
+// Options.SharedBound) into every shard-pair join it dispatches, so a
+// tight pair found inside one tile immediately prunes the traversal of
+// every other tile — the cross-join analogue of the parallel engine's
+// per-query atomic bound.
+//
+// The value is a distance key (squared under L2), the same unit as the
+// engine's internal bound T. Only sound global upper bounds may be
+// published: the K-heap threshold of a full heap (K real point pairs at
+// most that far apart exist) and the auxiliary MINMAXDIST/MAXMAXDIST
+// bound (Inequalities 1–2 guarantee the required point pairs exist).
+// Both remain sound across shard boundaries because every shard-pair
+// point pair is also a point pair of the global product.
+//
+// All methods are nil-safe: a nil *SharedBound loads +Inf and ignores
+// tightens, so unsharded queries pay one nil check and nothing else.
+type SharedBound struct {
+	b atomicMinFloat64
+}
+
+// NewSharedBound returns a shared bound initialized to +Inf (no pruning
+// information yet).
+func NewSharedBound() *SharedBound {
+	sb := &SharedBound{}
+	sb.reset()
+	return sb
+}
+
+// reset initializes the bound to +Inf. It exists so the +Inf store —
+// the one write that is not a CAS-min — stays inside the bound type's
+// own methods, where the boundmono check allows it.
+func (s *SharedBound) reset() {
+	s.b.store(math.Inf(1))
+}
+
+// Load returns the current bound (squared); +Inf on a nil receiver or
+// when no tighten has landed yet.
+func (s *SharedBound) Load() float64 {
+	if s == nil {
+		return math.Inf(1)
+	}
+	return s.b.load()
+}
+
+// Tighten lowers the bound to v if v is smaller (CAS-min). It returns
+// the previous value and whether v became the new bound. A nil receiver
+// ignores the call.
+func (s *SharedBound) Tighten(v float64) (old float64, ok bool) {
+	if s == nil {
+		return math.Inf(1), false
+	}
+	return s.b.tighten(v)
+}

@@ -75,6 +75,32 @@ func (s Stats) String() string {
 	return out
 }
 
+// Merge folds other into s: IO deltas and work counters add element-wise,
+// the queue high-water mark takes the maximum. It is the one aggregation
+// helper for combining per-shard (or otherwise partial) query stats —
+// the shard executor's gather and the facade's per-tree cache-delta fold
+// both go through it, so a new Stats field only needs its combination
+// rule stated here. Merge operates on snapshots: take them with
+// statsAcc.snapshot (or pool/cache Stats diffs) first; the snapshots
+// themselves are plain values, so merging needs no atomics.
+func (s *Stats) Merge(other Stats) {
+	s.IOP = s.IOP.Add(other.IOP)
+	s.IOQ = s.IOQ.Add(other.IOQ)
+	s.NodePairsProcessed += other.NodePairsProcessed
+	s.SubPairsGenerated += other.SubPairsGenerated
+	s.SubPairsPruned += other.SubPairsPruned
+	s.PointPairsCompared += other.PointPairsCompared
+	if other.MaxQueueSize > s.MaxQueueSize {
+		s.MaxQueueSize = other.MaxQueueSize
+	}
+	s.GridCellsProbed += other.GridCellsProbed
+	s.GridRebuckets += other.GridRebuckets
+	s.HeapBatches += other.HeapBatches
+	s.HeapBatchPairs += other.HeapBatchPairs
+	s.NodeCacheHits += other.NodeCacheHits
+	s.NodeCacheMisses += other.NodeCacheMisses
+}
+
 // NodeCacheHitRatio returns hits / lookups of the decoded-node cache over
 // the query, 0 when no cache was attached.
 func (s Stats) NodeCacheHitRatio() float64 {

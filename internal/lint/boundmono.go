@@ -28,13 +28,16 @@ type BoundMono struct {
 	// Scopes are import-path fragments; only bound types declared in
 	// these packages are protected.
 	Scopes []string
-	// TypeName is the name of the tighten-only bound type.
-	TypeName string
+	// TypeNames are the names of the tighten-only bound types: the
+	// parallel engine's internal bound and the exported wrapper the
+	// shard executor broadcasts across joins.
+	TypeNames []string
 }
 
-// NewBoundMono returns the check configured for the parallel engine.
+// NewBoundMono returns the check configured for the parallel engine and
+// the shard executor's broadcast bound.
 func NewBoundMono() *BoundMono {
-	return &BoundMono{Scopes: []string{"internal/core"}, TypeName: "atomicMinFloat64"}
+	return &BoundMono{Scopes: []string{"internal/core"}, TypeNames: []string{"atomicMinFloat64", "SharedBound"}}
 }
 
 // Name implements Check.
@@ -54,16 +57,30 @@ func (c *BoundMono) Run(prog *Program) []Diagnostic {
 	return diags
 }
 
+// boundTypeName returns the protected bound type's name when t (or its
+// pointee) is one.
+func (c *BoundMono) boundTypeName(t types.Type) (string, bool) {
+	named := namedOf(t)
+	if named == nil {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pathInScope(obj.Pkg().Path(), c.Scopes) {
+		return "", false
+	}
+	for _, name := range c.TypeNames {
+		if obj.Name() == name {
+			return name, true
+		}
+	}
+	return "", false
+}
+
 // isBoundType reports whether t (or its pointee) is a protected bound
 // type.
 func (c *BoundMono) isBoundType(t types.Type) bool {
-	named := namedOf(t)
-	if named == nil {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Name() == c.TypeName &&
-		obj.Pkg() != nil && pathInScope(obj.Pkg().Path(), c.Scopes)
+	_, ok := c.boundTypeName(t)
+	return ok
 }
 
 // isBoundMethod reports whether fs is a method declared on the bound
@@ -91,10 +108,11 @@ func (c *BoundMono) checkFunc(prog *Program, fs FuncSource) []Diagnostic {
 		switch n := n.(type) {
 		case *ast.SelectorExpr:
 			// Raw field access on a bound value: x.bits, s.bound.bits.
-			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal &&
-				c.isBoundType(info.TypeOf(n.X)) {
-				report(n.Sel, "raw %s field %s accessed outside the type's methods; the CAS-min discipline lives in tighten/load",
-					c.TypeName, n.Sel.Name)
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				if name, bound := c.boundTypeName(info.TypeOf(n.X)); bound {
+					report(n.Sel, "raw %s field %s accessed outside the type's methods; the CAS-min discipline lives in tighten/load",
+						name, n.Sel.Name)
+				}
 			}
 		case *ast.CallExpr:
 			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
@@ -107,8 +125,15 @@ func (c *BoundMono) checkFunc(prog *Program, fs FuncSource) []Diagnostic {
 			report(n, "store on the shared bound with a value other than math.Inf(1) can widen it; use tighten (CAS-min)")
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
-				if c.isBoundType(info.TypeOf(lhs)) {
-					report(lhs, "overwriting a whole %s value resets the shared bound; use tighten (CAS-min)", c.TypeName)
+				t := info.TypeOf(lhs)
+				if _, isPtr := t.(*types.Pointer); isPtr {
+					// Handing a *bound around is injection (the shard
+					// executor wiring a broadcast bound into Options),
+					// not a reset of the value.
+					continue
+				}
+				if name, bound := c.boundTypeName(t); bound {
+					report(lhs, "overwriting a whole %s value resets the shared bound; use tighten (CAS-min)", name)
 				}
 			}
 		}

@@ -68,7 +68,7 @@ func NewCancelPoll() *CancelPoll {
 	// pages reach internal/storage anyway, so the transitive summary
 	// catches them without branding every MBR accessor as I/O.
 	return &CancelPoll{
-		Scopes:     []string{"internal/core"},
+		Scopes:     []string{"internal/core", "internal/shard"},
 		IOScopes:   []string{"internal/storage"},
 		HotNames:   []string{"expandInto", "scanLeaves", "readPair", "pop", "popBatch", "Pop"},
 		ExemptRecv: []string{"pairHeap", "kHeap", "batchQueue"},

@@ -29,7 +29,7 @@ type CtxLeak struct {
 
 // NewCtxLeak returns the check configured for the join engine.
 func NewCtxLeak() *CtxLeak {
-	return &CtxLeak{Scopes: []string{"internal/core"}}
+	return &CtxLeak{Scopes: []string{"internal/core", "internal/shard"}}
 }
 
 // Name implements Check.

@@ -38,7 +38,7 @@ type CtxProp struct {
 // NewCtxProp returns the check configured for the public API and the
 // core engine.
 func NewCtxProp() *CtxProp {
-	return &CtxProp{Scopes: []string{"internal/core"}}
+	return &CtxProp{Scopes: []string{"internal/core", "internal/shard"}}
 }
 
 // Name implements Check.

@@ -58,9 +58,9 @@ import (
 // sharedfield.
 
 // sgScopes are the packages whose fields shareguard audits: everything
-// the parallel engine shares across goroutines.
+// the parallel engine and the shard executor share across goroutines.
 func sgScopes() []string {
-	return []string{"internal/core", "internal/rtree", "internal/storage", "internal/obs"}
+	return []string{"internal/core", "internal/rtree", "internal/storage", "internal/obs", "internal/shard"}
 }
 
 // sgAccess is one classified access to a scoped struct field.

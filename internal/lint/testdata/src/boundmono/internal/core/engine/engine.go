@@ -81,3 +81,36 @@ func (s *searcher) suppressed() {
 	//lint:ignore boundmono fixture: batch boundary resets are serialized
 	s.bound.store(0)
 }
+
+// SharedBound mirrors the exported cross-join broadcast bound: a thin
+// wrapper whose +Inf reset lives in its own method, so the wrapper is
+// exempt inside its methods exactly like the inner type.
+type SharedBound struct {
+	b atomicMinFloat64
+}
+
+func (s *SharedBound) reset() { s.b.store(math.Inf(1)) }
+
+// Tighten is the sanctioned cross-join write path.
+func (s *SharedBound) Tighten(v float64) { s.b.tighten(v) }
+
+type coordinator struct {
+	shared  *SharedBound
+	scratch SharedBound
+}
+
+// inject hands the shared bound pointer to a collaborator; pointer
+// assignment is injection, not a reset, and is not flagged.
+func (c *coordinator) inject(b *SharedBound) {
+	c.shared = b
+}
+
+// clobber overwrites the whole wrapper value, resetting the bound.
+func (c *coordinator) clobber() {
+	c.scratch = SharedBound{}
+}
+
+// reachInside pokes the wrapped bound from outside the type's methods.
+func (c *coordinator) reachInside() {
+	c.scratch.b.store(0)
+}

@@ -68,6 +68,17 @@ const (
 	// EvHeapBatch records one batched dequeue of the HEAP algorithm's pair
 	// heap (Options.BatchExpand); N is the batch size.
 	EvHeapBatch
+	// EvShardPlan records the shard executor planning its work list; N is
+	// the number of shard pairs planned (non-empty tile products).
+	EvShardPlan
+	// EvShardPruned records a shard pair skipped because the MINMINDIST
+	// between its tile MBRs exceeded the broadcast bound at dispatch time;
+	// N encodes the pair as shardA*tiles + shardB, New its MINMINDIST key.
+	EvShardPruned
+	// EvShardJoin records one dispatched shard-pair join; N encodes the
+	// pair as shardA*tiles + shardB, New the broadcast bound at dispatch,
+	// Worker the executor worker id.
+	EvShardJoin
 )
 
 // String implements fmt.Stringer with stable lowercase names (the JSONL
@@ -100,6 +111,12 @@ func (k EventKind) String() string {
 		return "grid_rebucket"
 	case EvHeapBatch:
 		return "heap_batch"
+	case EvShardPlan:
+		return "shard_plan"
+	case EvShardPruned:
+		return "shard_pruned"
+	case EvShardJoin:
+		return "shard_join"
 	default:
 		return "unknown"
 	}

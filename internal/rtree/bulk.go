@@ -15,6 +15,38 @@ import (
 // node overlap than insertion-built trees, which is one of the build
 // ablations the benchmarks explore.
 func (t *Tree) BulkLoad(items []Item, fill float64) error {
+	return t.bulkLoad(items, fill, false)
+}
+
+// SortSTR orders items exactly as BulkLoad's leaf-level STR pass would:
+// stable by ascending MBR center X, ties by center Y. BulkLoadSorted
+// skips that sort when handed items in this order, so callers building
+// many trees (the shard partitioner) can run the dominant O(n log n)
+// CPU phase of every build in parallel goroutines while the
+// page-writing phase stays sequential: SortSTR touches only the slice
+// it is given — never a tree, a buffer pool or a node cache — so it is
+// safe to call from any goroutine.
+func SortSTR(items []Item) {
+	sort.SliceStable(items, func(i, j int) bool {
+		ci, cj := items[i].Rect.Center(), items[j].Rect.Center()
+		if ci.X != cj.X {
+			return ci.X < cj.X
+		}
+		return ci.Y < cj.Y
+	})
+}
+
+// BulkLoadSorted is BulkLoad for items already in SortSTR order: the
+// leaf-level X-sort is skipped, everything else — slab tiling, per-slab
+// Y-sorts, upper-level packing, page writes — is identical, so
+// BulkLoadSorted after SortSTR produces a tree byte-identical to
+// BulkLoad on the same items. The order is not re-verified; handing it
+// unsorted items builds a valid but badly clustered tree.
+func (t *Tree) BulkLoadSorted(items []Item, fill float64) error {
+	return t.bulkLoad(items, fill, true)
+}
+
+func (t *Tree) bulkLoad(items []Item, fill float64, presorted bool) error {
 	if t.size != 0 || t.root != storage.InvalidPageID {
 		return errors.New("rtree: BulkLoad requires an empty tree")
 	}
@@ -40,7 +72,7 @@ func (t *Tree) BulkLoad(items []Item, fill float64) error {
 	}
 	level := 0
 	for {
-		nodes, err := t.packLevel(entries, level, capacity)
+		nodes, err := t.packLevel(entries, level, capacity, presorted && level == 0)
 		if err != nil {
 			return err
 		}
@@ -65,8 +97,10 @@ func (t *Tree) BulkLoad(items []Item, fill float64) error {
 // are pre-computed as an even distribution so that every node of a
 // multi-node level respects the minimum occupancy m (a plain
 // chop-into-runs-of-capacity leaves underfull tail nodes). Every produced
-// node is written to its page.
-func (t *Tree) packLevel(entries []Entry, level, capacity int) ([]*Node, error) {
+// node is written to its page. With presorted set the level's entries
+// are already in SortSTR order (center X, tie Y) and the initial sort is
+// skipped; the per-slab Y-sorts then mutate the given slice in place.
+func (t *Tree) packLevel(entries []Entry, level, capacity int, presorted bool) ([]*Node, error) {
 	n := len(entries)
 	sizes := packSizes(n, capacity, t.cfg.MinEntries, t.cfg.MaxEntries)
 	numNodes := len(sizes)
@@ -74,14 +108,17 @@ func (t *Tree) packLevel(entries []Entry, level, capacity int) ([]*Node, error) 
 	slabs := int(math.Ceil(math.Sqrt(float64(numNodes))))
 	nodesPerSlab := (numNodes + slabs - 1) / slabs
 
-	sorted := append([]Entry(nil), entries...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		ci, cj := sorted[i].Rect.Center(), sorted[j].Rect.Center()
-		if ci.X != cj.X {
-			return ci.X < cj.X
-		}
-		return ci.Y < cj.Y
-	})
+	sorted := entries
+	if !presorted {
+		sorted = append([]Entry(nil), entries...)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			ci, cj := sorted[i].Rect.Center(), sorted[j].Rect.Center()
+			if ci.X != cj.X {
+				return ci.X < cj.X
+			}
+			return ci.Y < cj.Y
+		})
+	}
 
 	out := make([]*Node, 0, numNodes)
 	next := 0 // next unconsumed entry in sorted

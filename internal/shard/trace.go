@@ -1,0 +1,41 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// The emit helpers follow the engine's obshooks discipline: every
+// tracer touch sits behind a nil-guarded helper so a disabled tracer
+// costs one branch per event and zero allocations.
+
+// startExecSpan opens the executor's query span (nil tracer → nil span,
+// on which every emit no-ops).
+func startExecSpan(tr obs.Tracer, tiles, k int, t Transport) *obs.Span {
+	if tr == nil {
+		return nil
+	}
+	return obs.StartSpan(tr, fmt.Sprintf("shard-exec tiles=%d k=%d transport=%s", tiles, k, t.String()))
+}
+
+func traceShardPlan(sp *obs.Span, planned int) {
+	if !sp.Enabled() {
+		return
+	}
+	sp.Emit(obs.Event{Kind: obs.EvShardPlan, N: int64(planned)})
+}
+
+func traceShardPruned(sp *obs.Span, a, b, tiles int, minmin float64) {
+	if !sp.Enabled() {
+		return
+	}
+	sp.Emit(obs.Event{Kind: obs.EvShardPruned, N: int64(a*tiles + b), New: minmin})
+}
+
+func traceShardJoin(sp *obs.Span, a, b, tiles int, bound float64, worker int32) {
+	if !sp.Enabled() {
+		return
+	}
+	sp.Emit(obs.Event{Kind: obs.EvShardJoin, N: int64(a*tiles + b), New: bound, Worker: worker})
+}

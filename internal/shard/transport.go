@@ -1,0 +1,40 @@
+package shard
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/rtree"
+)
+
+// Transport runs one shard-pair K-CPQ join. It is the executor's RPC
+// seam: InProc calls the engine directly, a wire transport would ship
+// the same request (shard ids, K, options minus process-local pointers)
+// to the node owning the trees and stream the result back. The
+// broadcast bound crosses this boundary too — in process as the shared
+// pointer in opts.SharedBound, on a wire as min-messages (see
+// BoundBroadcaster).
+//
+// Implementations must be safe for concurrent use: the executor calls
+// Join from several worker goroutines at once, possibly with the same
+// tree on one side of two calls (the trees' read path is sharded and
+// lock-protected for exactly this).
+type Transport interface {
+	// Join answers the K closest pairs of a×b under opts, with the
+	// engine's per-join statistics.
+	Join(ctx context.Context, a, b *rtree.Tree, k int, opts core.Options) ([]core.Pair, core.Stats, error)
+	// String names the transport for reports ("inproc", "grpc", ...).
+	String() string
+}
+
+// InProc is the in-process Transport: it runs the join on the calling
+// goroutine via core.KClosestPairsContext.
+type InProc struct{}
+
+// Join implements Transport.
+func (InProc) Join(ctx context.Context, a, b *rtree.Tree, k int, opts core.Options) ([]core.Pair, core.Stats, error) {
+	return core.KClosestPairsContext(ctx, a, b, k, opts)
+}
+
+// String implements Transport.
+func (InProc) String() string { return "inproc" }

@@ -5,7 +5,6 @@ import (
 	"net/http"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -36,6 +35,9 @@ const (
 	EvCacheMiss       = obs.EvCacheMiss
 	EvWorkerSteal     = obs.EvWorkerSteal
 	EvPoolEvict       = obs.EvPoolEvict
+	EvShardPlan       = obs.EvShardPlan
+	EvShardPruned     = obs.EvShardPruned
+	EvShardJoin       = obs.EvShardJoin
 )
 
 // BoundSource names the pruning rule behind a bound_tightened event.
@@ -98,7 +100,7 @@ func ObservabilityMux(m *Metrics, withPprof bool) *http.ServeMux {
 // worker steals). The default nil tracer is free: every emission site in
 // the engine hides behind one nil check and allocates nothing.
 func WithTracer(tr Tracer) QueryOption {
-	return func(o *core.Options) { o.Tracer = tr }
+	return func(o *queryConfig) { o.core.Tracer = tr }
 }
 
 // WithMetrics records the query's cost (latency, accesses, K-th distance,
@@ -106,12 +108,12 @@ func WithTracer(tr Tracer) QueryOption {
 // completion. Recording happens once per query, never inside the
 // traversal.
 func WithMetrics(em *EngineMetrics) QueryOption {
-	return func(o *core.Options) { o.Metrics = em }
+	return func(o *queryConfig) { o.core.Metrics = em }
 }
 
 // WithSlowQueryLog feeds the query's cost report to the given slow-query
 // log: aggregated always, written as a JSON line when the latency meets
 // the log's threshold.
 func WithSlowQueryLog(l *SlowQueryLog) QueryOption {
-	return func(o *core.Options) { o.SlowLog = l }
+	return func(o *queryConfig) { o.core.SlowLog = l }
 }

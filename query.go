@@ -3,9 +3,13 @@ package cpq
 import (
 	"context"
 
+	"errors"
+
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/incremental"
+	"repro/internal/rtree"
+	"repro/internal/shard"
 	"repro/internal/sortx"
 )
 
@@ -122,33 +126,42 @@ func Chebyshev() Metric { return geom.LInf() }
 // Minkowski returns the L_p metric for p >= 1.
 func Minkowski(p float64) (Metric, error) { return geom.Lp(p) }
 
+// queryConfig is the facade-level query configuration: the engine options
+// plus the scatter-gather knobs (tile count, transport) that live above
+// the engine.
+type queryConfig struct {
+	core      core.Options
+	shards    int
+	transport shard.Transport
+}
+
 // QueryOption tunes a closest-pair query.
-type QueryOption func(*core.Options)
+type QueryOption func(*queryConfig)
 
 // WithAlgorithm selects the CPQ algorithm (default HeapAlgorithm).
 func WithAlgorithm(a Algorithm) QueryOption {
-	return func(o *core.Options) { o.Algorithm = a }
+	return func(o *queryConfig) { o.core.Algorithm = a }
 }
 
 // WithTieStrategy selects the tie-break strategy (default Tie1).
 func WithTieStrategy(t TieStrategy) QueryOption {
-	return func(o *core.Options) { o.Tie = t }
+	return func(o *queryConfig) { o.core.Tie = t }
 }
 
 // WithHeightStrategy selects the different-heights treatment
 // (default FixAtRoot).
 func WithHeightStrategy(h HeightStrategy) QueryOption {
-	return func(o *core.Options) { o.Height = h }
+	return func(o *queryConfig) { o.core.Height = h }
 }
 
 // WithSortMethod selects STD's sorting algorithm (default MergeSort).
 func WithSortMethod(m SortMethod) QueryOption {
-	return func(o *core.Options) { o.Sort = m }
+	return func(o *queryConfig) { o.core.Sort = m }
 }
 
 // WithKPruning selects the K>1 pruning rule (default KPruneMaxMax).
 func WithKPruning(k KPruning) QueryOption {
-	return func(o *core.Options) { o.KPrune = k }
+	return func(o *queryConfig) { o.core.KPrune = k }
 }
 
 // WithLeafScan selects the leaf-pair scanning strategy (default
@@ -161,7 +174,7 @@ func WithKPruning(k KPruning) QueryOption {
 // is available yet). The difference shows up in
 // Stats.PointPairsCompared/GridCellsProbed.
 func WithLeafScan(l LeafScan) QueryOption {
-	return func(o *core.Options) { o.LeafScan = l }
+	return func(o *queryConfig) { o.core.LeafScan = l }
 }
 
 // WithExpandStrategy selects the node-expansion kernel (default
@@ -170,7 +183,7 @@ func WithLeafScan(l LeafScan) QueryOption {
 // over flat scratch arrays in one pass and materialises only survivors,
 // while ExpandLegacy keeps the original per-pair path for A/B comparison.
 func WithExpandStrategy(e ExpandStrategy) QueryOption {
-	return func(o *core.Options) { o.Expand = e }
+	return func(o *queryConfig) { o.core.Expand = e }
 }
 
 // WithBatchExpand lets the sequential HEAP algorithm dequeue batches of
@@ -181,12 +194,12 @@ func WithExpandStrategy(e ExpandStrategy) QueryOption {
 // sequential HEAP; it is therefore off by default. The parallel engine
 // always consumes batches regardless of this option.
 func WithBatchExpand(enabled bool) QueryOption {
-	return func(o *core.Options) { o.BatchExpand = enabled }
+	return func(o *queryConfig) { o.core.BatchExpand = enabled }
 }
 
 // WithMetric selects the distance metric (default Euclidean).
 func WithMetric(m Metric) QueryOption {
-	return func(o *core.Options) { o.Metric = m }
+	return func(o *queryConfig) { o.core.Metric = m }
 }
 
 // WithParallelism runs the HEAP algorithm with n worker goroutines over a
@@ -200,21 +213,103 @@ func WithMetric(m Metric) QueryOption {
 // WithParallelism with WithBufferShards on the indexes so concurrent page
 // reads do not serialize on one buffer-pool mutex.
 func WithParallelism(n int) QueryOption {
-	return func(o *core.Options) {
+	return func(o *queryConfig) {
 		if n <= 0 {
-			o.Parallelism = core.AutoParallelism
+			o.core.Parallelism = core.AutoParallelism
 		} else {
-			o.Parallelism = n
+			o.core.Parallelism = n
 		}
 	}
 }
 
-func buildOptions(opts []QueryOption) core.Options {
-	o := core.DefaultOptions(core.Heap)
+// ShardTransport runs the shard-pair joins of a sharded query (see
+// WithShards). The in-process transport is the default; a custom
+// implementation can carry the same call over a wire protocol to remote
+// shard holders. Implementations must be safe for concurrent use.
+type ShardTransport = shard.Transport
+
+// InProcTransport returns the in-process shard transport (the default):
+// shard-pair joins run as ordinary engine calls in this process.
+func InProcTransport() ShardTransport { return shard.InProc{} }
+
+// WithShards runs the bichromatic queries (ClosestPair, KClosestPairs)
+// as scatter-gather over t spatial tiles: both point sets are split by
+// shared STR-order quantile boundaries, each tile gets its own R-tree
+// pair on dedicated buffer pools, tile pairs whose MINMINDIST exceeds
+// the current bound are pruned whole, and all in-flight tile joins share
+// one broadcast tighten-only bound. Results are bit-identical (distances
+// and tie order) to the unsharded query. t <= 1 (the default) keeps the
+// monolithic join; the self-, semi- and range variants ignore the knob.
+//
+// Sharding pays off when tile-level pruning can skip most of the T^2
+// tile pairs — clustered data, or K-th distances far below the tile
+// side. The partitioning cost (a full re-bulk-load of both sets) is paid
+// per query, so the knob targets one-shot large joins, not repeated
+// queries over a prebuilt index.
+func WithShards(t int) QueryOption {
+	return func(o *queryConfig) { o.shards = t }
+}
+
+// WithShardTransport selects the transport that carries shard-pair joins
+// (default in-process). Only meaningful together with WithShards.
+func WithShardTransport(t ShardTransport) QueryOption {
+	return func(o *queryConfig) { o.transport = t }
+}
+
+func buildConfig(opts []QueryOption) queryConfig {
+	c := queryConfig{core: core.DefaultOptions(core.Heap)}
 	for _, f := range opts {
-		f(&o)
+		f(&c)
 	}
-	return o
+	return c
+}
+
+// buildOptions resolves just the engine options, for the query variants
+// that never shard.
+func buildOptions(opts []QueryOption) core.Options {
+	return buildConfig(opts).core
+}
+
+// shardedKClosestPairs routes a bichromatic K-CPQ through the
+// scatter-gather executor: re-partition both sets into cfg.shards tiles,
+// join the tile pairs under a broadcast bound, K-merge. The shard trees
+// inherit p's tree geometry so per-shard traversals see the same page
+// and fan-out regime as the monolithic join.
+func shardedKClosestPairs(ctx context.Context, p, q *Index, k int, cfg queryConfig) ([]Pair, Stats, error) {
+	itemsP, err := collectItems(p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	itemsQ, err := collectItems(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	set, err := shard.PartitionContext(ctx, itemsP, itemsQ, shard.Config{
+		Tiles: cfg.shards,
+		Tree:  p.tree.Config(),
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	ex := shard.Executor{Set: set, Transport: cfg.transport}
+	res, err := ex.RunContext(ctx, k, cfg.core)
+	if err != nil {
+		return nil, Stats{}, errors.Join(err, set.Close())
+	}
+	if err := set.Close(); err != nil {
+		return nil, Stats{}, err
+	}
+	return res.Pairs, res.Stats, nil
+}
+
+// collectItems drains an index's items for re-partitioning.
+func collectItems(i *Index) ([]rtree.Item, error) {
+	out := make([]rtree.Item, 0, i.tree.Len())
+	err := i.tree.All(func(it rtree.Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out, err
 }
 
 // ClosestPair returns the closest pair between the two indexed point sets
@@ -230,7 +325,15 @@ func ClosestPair(p, q *Index, opts ...QueryOption) (Pair, Stats, error) {
 // When the context never fires the results, paper counters and disk
 // accesses are identical to the context-free call.
 func ClosestPairContext(ctx context.Context, p, q *Index, opts ...QueryOption) (Pair, Stats, error) {
-	return core.ClosestPairContext(ctx, p.tree, q.tree, buildOptions(opts))
+	cfg := buildConfig(opts)
+	if cfg.shards > 1 {
+		pairs, stats, err := shardedKClosestPairs(ctx, p, q, 1, cfg)
+		if err != nil {
+			return Pair{}, stats, err
+		}
+		return pairs[0], stats, nil
+	}
+	return core.ClosestPairContext(ctx, p.tree, q.tree, cfg.core)
 }
 
 // KClosestPairs returns the k closest pairs between the two indexed point
@@ -244,7 +347,11 @@ func KClosestPairs(p, q *Index, k int, opts ...QueryOption) ([]Pair, Stats, erro
 // KClosestPairsContext is KClosestPairs under a context; see
 // ClosestPairContext for the cancellation contract.
 func KClosestPairsContext(ctx context.Context, p, q *Index, k int, opts ...QueryOption) ([]Pair, Stats, error) {
-	return core.KClosestPairsContext(ctx, p.tree, q.tree, k, buildOptions(opts))
+	cfg := buildConfig(opts)
+	if cfg.shards > 1 {
+		return shardedKClosestPairs(ctx, p, q, k, cfg)
+	}
+	return core.KClosestPairsContext(ctx, p.tree, q.tree, k, cfg.core)
 }
 
 // SelfClosestPair returns the closest pair of distinct points within one
