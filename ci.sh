@@ -30,12 +30,17 @@
 #                      then the ctxflow cancellation gate, which fails
 #                      if threading a live (never-cancelled) context
 #                      through the PR6-optimized hot path costs more
-#                      than 1% wall clock or perturbs any counter
+#                      than 1% wall clock or perturbs any counter,
+#                      then the pr10 explain gate, which fails if the
+#                      explain-off query path costs more than 1% over
+#                      the bare executor or perturbs any counter or
+#                      result distance (writes BENCH_PR10.json)
 #   ./ci.sh obs        the observability gates: the zero-alloc tests on
-#                      the disabled hook paths, the obs registry under
-#                      the race detector, and a Prometheus-exposition
-#                      parse smoke test (the fuzz target over its seed
-#                      corpus)
+#                      the disabled hook paths, the obs registry and
+#                      explain capture under the race detector, a
+#                      Prometheus-exposition parse smoke test (the fuzz
+#                      target over its seed corpus), and the EXPLAIN
+#                      golden round-trip with its fuzz corpus
 set -eu
 
 lint() {
@@ -61,7 +66,7 @@ lint() {
 # (an empty corpus dir makes `go test` pass while fuzzing nothing).
 lint_self() {
 	go run ./cmd/cpqlint internal/lint internal/lint/ssa ./cmd/...
-	for corpus in internal/rtree/testdata/fuzz internal/geom/testdata/fuzz internal/obs/testdata/fuzz; do
+	for corpus in internal/rtree/testdata/fuzz internal/geom/testdata/fuzz internal/obs/testdata/fuzz internal/obs/explain/testdata/fuzz; do
 		if [ -z "$(ls "$corpus" 2>/dev/null)" ]; then
 			echo "fuzz seed corpus missing or empty: $corpus" >&2
 			exit 1
@@ -87,17 +92,24 @@ bench() {
 	go run ./cmd/cpqbench -experiment pr6 -pr6 BENCH_PR6.json
 	go run ./cmd/cpqbench -experiment pr9 -pr9 BENCH_PR9.json
 	go run ./cmd/cpqbench -experiment ctxflow
+	go run ./cmd/cpqbench -experiment pr10 -pr10 BENCH_PR10.json
 }
 
 # obs gates the observability layer: hooks must stay free when disabled
 # (the AllocsPerRun tests), the registry must be safe under concurrent
-# writers and scrapers (-race), and the Prometheus text exposition must
-# parse (the fuzz target replayed over its committed seed corpus).
+# writers and scrapers (-race), the Prometheus text exposition must
+# parse (the fuzz target replayed over its committed seed corpus), and
+# the EXPLAIN snapshot encoding must stay byte-stable (the golden
+# round-trip and its fuzz corpus).
 obs() {
 	go test -race ./internal/obs
+	go test -race ./internal/obs/explain
 	go test -run 'TestDisabledHooksZeroAlloc' ./internal/core
 	go test -run 'TestCacheTraceDisabledZeroAlloc' ./internal/rtree
+	go test -run 'TestNilCaptureZeroAlloc' ./internal/obs/explain
+	go test -run 'TestShardDisabledHooksZeroAlloc' ./internal/shard
 	go test -run 'FuzzMetricsExposition' ./internal/obs
+	go test -run 'TestExplainGoldenRoundTrip|FuzzExplainRoundTrip' ./internal/obs/explain
 }
 
 all() {

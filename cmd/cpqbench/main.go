@@ -18,6 +18,8 @@
 //	cpqbench -pr4 BENCH_PR4.json   # run the leafscan ablation, write its report
 //	cpqbench -pr6 BENCH_PR6.json   # run the kernel ablation, write its report
 //	cpqbench -pr9 BENCH_PR9.json   # run the sharding gate, write its report
+//	cpqbench -pr10 BENCH_PR10.json # run the explain-overhead gate, write its report
+//	cpqbench -explain              # capture EXPLAIN per query, print the last query's tree
 //	cpqbench -timeout 2m           # wall-clock budget (or CPQ_TIMEOUT); exits 3 with partial totals
 //	cpqbench -trace trace.jsonl    # write every query's trace events as JSON lines
 //	cpqbench -metrics-addr :9090   # serve /metrics (Prometheus text) and /debug/vars
@@ -99,6 +101,8 @@ func main() {
 		pr4        = flag.String("pr4", "", "run the leafscan ablation and write its JSON report to this file")
 		pr6        = flag.String("pr6", "", "run the pr6 kernel ablation and write its JSON report to this file")
 		pr9        = flag.String("pr9", "", "run the pr9 sharding gate and write its JSON report to this file")
+		pr10       = flag.String("pr10", "", "run the pr10 explain-overhead gate and write its JSON report to this file")
+		explainOn  = flag.Bool("explain", false, "attach an EXPLAIN capture to every query and print the last query's plan+execution tree at the end")
 		traceFile  = flag.String("trace", "", "write every query's trace events to this file as JSON lines")
 		metricsAt  = flag.String("metrics-addr", "", "serve engine metrics on this address (/metrics Prometheus text, /debug/vars expvar)")
 		pprofOn    = flag.Bool("pprof", false, "with -metrics-addr, also mount net/http/pprof under /debug/pprof/")
@@ -157,6 +161,9 @@ func main() {
 	}
 	if *shards > 1 {
 		bench.SetDefaultShards(*shards)
+	}
+	if *explainOn {
+		bench.SetDefaultExplain(true)
 	}
 
 	var tracer *obs.JSONLWriter
@@ -230,7 +237,7 @@ func main() {
 	for _, need := range []struct {
 		flagVal string
 		exp     string
-	}{{*pr4, "leafscan"}, {*pr6, "pr6"}, {*pr9, "pr9"}} {
+	}{{*pr4, "leafscan"}, {*pr6, "pr6"}, {*pr9, "pr9"}, {*pr10, "pr10"}} {
 		if need.flagVal == "" {
 			continue
 		}
@@ -322,6 +329,25 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(w, "wrote pr9 report to %s\n", *pr9)
+	}
+	if *pr10 != "" {
+		rep := bench.PR10LastReport()
+		if rep == nil {
+			fatal(fmt.Errorf("pr10 explain gate produced no report"))
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*pr10, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "wrote pr10 report to %s\n", *pr10)
+	}
+	if *explainOn {
+		if snap := bench.LastExplain(); snap != nil {
+			fmt.Fprintf(w, "\nEXPLAIN of the last query:\n%s", snap.Render())
+		}
 	}
 }
 

@@ -10,6 +10,8 @@
 //	cpqquery -p a.csv -self -k 5
 //	cpqquery -p a.csv -q b.csv -semi
 //	cpqquery -p a.csv -q b.csv -k 100 -watch
+//	cpqquery -p a.csv -q b.csv -k 10 -shards 4 -explain
+//	cpqquery -p a.csv -q b.csv -k 10 -explain-json
 package main
 
 import (
@@ -38,6 +40,9 @@ func main() {
 		semi        = flag.Bool("semi", false, "semi-CPQ: nearest -q point for every -p point")
 		watch       = flag.Bool("watch", false, "live progress on stderr while the query runs, and a bound-convergence chart at the end")
 		quiet       = flag.Bool("quiet", false, "print only statistics, not pairs")
+		shards      = flag.Int("shards", 1, "run the bichromatic query scatter-gather over this many spatial tiles")
+		explain     = flag.Bool("explain", false, "print the query's EXPLAIN/ANALYZE tree (plan + execution)")
+		explainJSON = flag.Bool("explain-json", false, "print the EXPLAIN/ANALYZE snapshot as canonical JSON")
 	)
 	flag.Parse()
 
@@ -62,6 +67,13 @@ func main() {
 		watchWG sync.WaitGroup
 	)
 	qopts = append(qopts, cpq.WithAlgorithm(parseAlgorithm(*algorithm)))
+	if *shards > 1 {
+		qopts = append(qopts, cpq.WithShards(*shards))
+	}
+	doExplain := *explain || *explainJSON
+	if doExplain && (*self || *semi || *incremental != "") {
+		fatal(fmt.Errorf("-explain supports only the bichromatic K-CPQ"))
+	}
 	watchDone := make(chan struct{})
 	if *watch {
 		if *incremental != "" {
@@ -82,9 +94,10 @@ func main() {
 
 	start := time.Now()
 	var (
-		pairs []cpq.Pair
-		stats cpq.Stats
-		err   error
+		pairs  []cpq.Pair
+		stats  cpq.Stats
+		report *cpq.ExplainReport
+		err    error
 	)
 	switch {
 	case *self:
@@ -123,7 +136,11 @@ func main() {
 		if q == nil {
 			fatal(fmt.Errorf("-q is required (or use -self)"))
 		}
-		pairs, stats, err = cpq.KClosestPairs(p, q, *k, qopts...)
+		if doExplain {
+			pairs, stats, report, err = cpq.Explain(p, q, *k, qopts...)
+		} else {
+			pairs, stats, err = cpq.KClosestPairs(p, q, *k, qopts...)
+		}
 	}
 	close(watchDone)
 	watchWG.Wait()
@@ -140,6 +157,17 @@ func main() {
 		stats.IOP.Reads, stats.IOQ.Reads, cache, time.Since(start).Round(time.Microsecond))
 	if wt != nil {
 		wt.render(os.Stderr)
+	}
+	if report != nil {
+		if *explainJSON {
+			raw, jerr := report.JSONIndent()
+			if jerr != nil {
+				fatal(jerr)
+			}
+			fmt.Println(string(raw))
+		} else {
+			fmt.Print(report.Render())
+		}
 	}
 	printPairs(pairs, *quiet)
 }

@@ -1,0 +1,171 @@
+package cpq
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/explain"
+)
+
+// ExplainReport is one query's EXPLAIN/ANALYZE snapshot: the plan
+// (algorithm, advisor decisions with their costmodel inputs, shard layout,
+// transport) and the execution (phase wall breakdown, per-shard-pair
+// dispatch decisions, bound-tightening trajectory, span tree, full work
+// counters). Render draws it as a text tree; JSON emits the canonical
+// byte-stable form.
+type ExplainReport = explain.Explain
+
+// ExplainCapture collects one query's explain data. Pass it to queries
+// with WithExplain, or use the Explain/ExplainContext convenience calls
+// which manage one internally. A nil capture is free: every capture point
+// in the engine costs one pointer comparison and allocates nothing.
+type ExplainCapture = explain.Capture
+
+// ExplainSpan is one span of the query's trace in the explain snapshot;
+// wire shard transports return forests of these for the gather side to
+// merge (see ShardTransport).
+type ExplainSpan = explain.SpanNode
+
+// TraceContext identifies a span's position in a distributed trace (trace
+// id + span id) — the value that crosses the ShardTransport boundary so
+// remote shard joins correlate with the gather-side query span.
+type TraceContext = obs.TraceContext
+
+// NewExplainCapture returns an empty explain capture. tee, when non-nil,
+// receives every trace event the capture sees, so an existing tracer
+// keeps working while explain is on.
+func NewExplainCapture(tee Tracer) *ExplainCapture { return explain.New(tee) }
+
+// WithExplain attaches an explain capture to the query: the capture
+// becomes the query's tracer (an existing WithTracer is teed through),
+// the plan and per-phase/per-shard execution rows are recorded, and a
+// slow-query log attached to the same query embeds the full snapshot in
+// its JSON line. Call capture.Snapshot() after the query for the report.
+func WithExplain(c *ExplainCapture) QueryOption {
+	return func(o *queryConfig) { o.capture = c }
+}
+
+// Explain runs KClosestPairs with an explain capture attached and returns
+// the results together with the EXPLAIN/ANALYZE report. It is the
+// non-cancellable shim over ExplainContext.
+func Explain(p, q *Index, k int, opts ...QueryOption) ([]Pair, Stats, *ExplainReport, error) {
+	return ExplainContext(context.Background(), p, q, k, opts...)
+}
+
+// ExplainContext is Explain under a context; see ClosestPairContext for
+// the cancellation contract. The returned report covers the whole query:
+// for sharded runs the plan carries the tile boundaries and transport,
+// the execution carries one row per planned shard pair, and the span tree
+// correlates every shard join — local or remote — under the query's
+// trace id.
+func ExplainContext(ctx context.Context, p, q *Index, k int, opts ...QueryOption) ([]Pair, Stats, *ExplainReport, error) {
+	c := NewExplainCapture(nil)
+	pairs, stats, err := KClosestPairsContext(ctx, p, q, k, append(append([]QueryOption{}, opts...), WithExplain(c))...)
+	if err != nil {
+		return nil, stats, nil, err
+	}
+	return pairs, stats, c.Snapshot(), nil
+}
+
+// explainKCPQ is the explain-enabled K-CPQ runner: it wires the capture
+// in as the query's tracer (teeing any user tracer), records the plan
+// with the advisor's decisions, routes the query (sharded or not), and
+// feeds the finished snapshot to the slow-query log.
+func explainKCPQ(ctx context.Context, p, q *Index, k int, cfg queryConfig) ([]Pair, Stats, error) {
+	started := time.Now()
+	cap := cfg.capture
+	cap.SetTee(cfg.core.Tracer)
+	cfg.core.Tracer = cap
+
+	// The slow-query log is recorded here, not in the engine, so the
+	// entry can embed the explain snapshot.
+	slowLog := cfg.core.SlowLog
+	cfg.core.SlowLog = nil
+
+	cap.SetPlan(buildExplainPlan(p, q, k, cfg))
+
+	var pairs []Pair
+	var stats Stats
+	var err error
+	if cfg.shards > 1 {
+		pairs, stats, err = shardedKClosestPairs(ctx, p, q, k, cfg)
+	} else {
+		var phaseStart time.Time
+		if cap.Enabled() {
+			phaseStart = time.Now()
+		}
+		pairs, stats, err = core.KClosestPairsContext(ctx, p.tree, q.tree, k, cfg.core)
+		cap.Phase("join", time.Since(phaseStart).Nanoseconds())
+	}
+	seconds := time.Since(started)
+	if err != nil {
+		if slowLog != nil {
+			slowLog.Record(QueryReport{Label: core.QueryLabel(cfg.core, k),
+				Seconds: seconds.Seconds(), Workers: explainWorkers(cfg.core), Err: err.Error()})
+		}
+		return nil, stats, err
+	}
+
+	kth := 0.0
+	if len(pairs) > 0 {
+		kth = pairs[len(pairs)-1].Dist
+	}
+	cap.SetResult(seconds.Nanoseconds(), stats.ExplainStats(), len(pairs), kth)
+
+	if slowLog != nil {
+		r := QueryReport{
+			Label:       core.QueryLabel(cfg.core, k),
+			Seconds:     seconds.Seconds(),
+			Accesses:    stats.Accesses(),
+			NodePairs:   stats.NodePairsProcessed,
+			PointPairs:  stats.PointPairsCompared,
+			CacheHits:   stats.NodeCacheHits,
+			CacheMisses: stats.NodeCacheMisses,
+			Results:     len(pairs),
+			KthDistance: kth,
+			Workers:     explainWorkers(cfg.core),
+		}
+		// Embed the snapshot so an over-threshold line carries the full
+		// plan and execution breakdown of the outlier.
+		if raw, jerr := cap.Snapshot().JSON(); jerr == nil {
+			r.Explain = raw
+		}
+		slowLog.Record(r)
+	}
+	return pairs, stats, nil
+}
+
+// buildExplainPlan renders the query plan: the resolved options plus the
+// advisor's leaf-scan and shard recommendations with the costmodel inputs
+// that produced them (computed here, off the hot path — explain is on).
+func buildExplainPlan(p, q *Index, k int, cfg queryConfig) explain.Plan {
+	plan := explain.Plan{
+		Label:     core.QueryLabel(cfg.core, k),
+		Algorithm: cfg.core.Algorithm.String(),
+		K:         k,
+		Workers:   explainWorkers(cfg.core),
+		LeafScan:  cfg.core.LeafScan.String(),
+		Expand:    cfg.core.Expand.String(),
+	}
+	if _, dec, err := core.AdviseLeafScanDecision(p.tree, q.tree, k); err == nil {
+		plan.Decisions = append(plan.Decisions, dec)
+	}
+	// The shard plan (count, transport, tile boundaries) is filled by the
+	// sharded runner once the partitioner has built the tiles.
+	return plan
+}
+
+// explainWorkers resolves the Parallelism knob the way the engine does.
+func explainWorkers(o core.Options) int {
+	switch {
+	case o.Parallelism == core.AutoParallelism:
+		return runtime.GOMAXPROCS(0)
+	case o.Parallelism <= 1:
+		return 1
+	default:
+		return o.Parallelism
+	}
+}

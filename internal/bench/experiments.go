@@ -38,6 +38,7 @@ var registry = []Experiment{
 	{"pr6", "Ablation: grid leaf scan, batched MINMINDIST kernel, heap-batch expansion", runPR6},
 	{"pr9", "Gate: sharded scatter-gather (STR tiles, broadcast bound) vs monolithic join", runPR9},
 	{"ctxflow", "Gate: cancellation-poll overhead of the context-threaded hot path", runCtxFlow},
+	{"pr10", "Gate: EXPLAIN capture overhead and result parity, explain-off vs bare executor", runPR10},
 }
 
 // Experiments lists every registered experiment in presentation order.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/incremental"
 	"repro/internal/obs"
+	"repro/internal/obs/explain"
 	"repro/internal/rtree"
 	"repro/internal/shard"
 	"repro/internal/storage"
@@ -324,6 +325,23 @@ func SetDefaultTracer(tr obs.Tracer) {
 	defaultTracer.Store(&tracerBox{tr: tr})
 }
 
+// defaultExplain, when true, attaches a fresh EXPLAIN capture to every
+// RunCore query: cpqbench -explain plumbs through here. Each query's
+// snapshot replaces the previous one in lastExplain, so after a sweep
+// LastExplain returns the final query's full plan + execution breakdown.
+var defaultExplain atomic.Bool
+
+// lastExplain holds the most recent RunCore query's explain snapshot.
+var lastExplain atomic.Pointer[explain.Explain]
+
+// SetDefaultExplain toggles per-query EXPLAIN capture for experiments run
+// afterwards.
+func SetDefaultExplain(on bool) { defaultExplain.Store(on) }
+
+// LastExplain returns the explain snapshot of the most recent RunCore
+// query captured under SetDefaultExplain(true); nil if none ran.
+func LastExplain() *explain.Explain { return lastExplain.Load() }
+
 // defaultMetrics, when set, receives every RunCore query's cost report:
 // cpqbench -metrics-addr plumbs through here.
 var defaultMetrics atomic.Pointer[obs.EngineMetrics]
@@ -439,12 +457,20 @@ func RunCore(ta, tb *rtree.Tree, k int, opts core.Options, bufferPages int) (cor
 	if opts.Metrics == nil {
 		opts.Metrics = defaultMetrics.Load()
 	}
+	var ec *explain.Capture
+	if defaultExplain.Load() {
+		ec = explain.New(opts.Tracer)
+		opts.Tracer = ec
+	}
 	var stats core.Stats
 	var err error
 	if t := int(defaultShards.Load()); t > 1 {
-		stats, err = runShardedQuery(ta, tb, k, opts, t)
+		stats, err = runShardedQuery(ta, tb, k, opts, t, ec)
 	} else {
 		_, stats, err = core.KClosestPairsContext(defaultCtx(), ta, tb, k, opts)
+	}
+	if ec != nil {
+		lastExplain.Store(ec.Snapshot())
 	}
 	if err == nil {
 		totQueries.Add(1)
@@ -465,7 +491,7 @@ func RunCore(ta, tb *rtree.Tree, k int, opts core.Options, bufferPages int) (cor
 // executor: drain both trees, partition into tiles (the shard trees
 // inherit the left tree's geometry), join the tile pairs under the
 // broadcast bound. The I/O counters come from the shard pools.
-func runShardedQuery(ta, tb *rtree.Tree, k int, opts core.Options, tiles int) (core.Stats, error) {
+func runShardedQuery(ta, tb *rtree.Tree, k int, opts core.Options, tiles int, ec *explain.Capture) (core.Stats, error) {
 	ctx := defaultCtx()
 	itemsA, err := drainItems(ta)
 	if err != nil {
@@ -475,13 +501,20 @@ func runShardedQuery(ta, tb *rtree.Tree, k int, opts core.Options, tiles int) (c
 	if err != nil {
 		return core.Stats{}, err
 	}
-	set, err := shard.PartitionContext(ctx, itemsA, itemsB, shard.Config{Tiles: tiles, Tree: ta.Config()})
+	set, err := shard.PartitionContext(ctx, itemsA, itemsB, shard.Config{Tiles: tiles, Tree: ta.Config(), Capture: ec})
 	if err != nil {
 		return core.Stats{}, err
 	}
-	ex := shard.Executor{Set: set}
+	ex := shard.Executor{Set: set, Capture: ec}
 	if b := defaultShardTransport.Load(); b != nil {
 		ex.Transport = b.t
+	}
+	if ec != nil {
+		tr := ex.Transport
+		if tr == nil {
+			tr = shard.InProc{}
+		}
+		ec.SetPlanShards(tiles, tr.String(), set.TileBounds())
 	}
 	res, err := ex.RunContext(ctx, k, opts)
 	if err != nil {

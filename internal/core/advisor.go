@@ -114,6 +114,38 @@ func AdviseLeafScan(ta, tb *rtree.Tree, k int) (LeafScan, string, error) {
 	}
 }
 
+// AdviseLeafScanDecision is AdviseLeafScan with the costmodel's full
+// decision record (choice, reason and model inputs) for EXPLAIN output.
+func AdviseLeafScanDecision(ta, tb *rtree.Tree, k int) (LeafScan, costmodel.Decision, error) {
+	ba, err := ta.Bounds()
+	if err != nil {
+		return LeafScanSweep, costmodel.Decision{}, err
+	}
+	bb, err := tb.Bounds()
+	if err != nil {
+		return LeafScanSweep, costmodel.Decision{}, err
+	}
+	fanout := 0.7 * float64(ta.Config().MaxEntries+tb.Config().MaxEntries) / 2
+	choice, dec, err := costmodel.RecommendLeafScanDecision(costmodel.Params{
+		NA:      int(ta.Len()),
+		NB:      int(tb.Len()),
+		Overlap: workspaceOverlap(ba, bb),
+		K:       k,
+		Fanout:  fanout,
+	})
+	if err != nil {
+		return LeafScanSweep, costmodel.Decision{}, err
+	}
+	switch choice {
+	case costmodel.ChooseBrute:
+		return LeafScanBrute, dec, nil
+	case costmodel.ChooseGrid:
+		return LeafScanGrid, dec, nil
+	default:
+		return LeafScanSweep, dec, nil
+	}
+}
+
 // workspaceOverlap returns the portion of overlap between two workspaces:
 // the intersection area divided by the smaller workspace area (1.0 when
 // one workspace is contained in the other; 0 for disjoint workspaces).

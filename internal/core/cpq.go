@@ -51,10 +51,10 @@ func KClosestPairsContext(ctx context.Context, ta, tb *rtree.Tree, k int, opts O
 	measure := opts.Metrics != nil || opts.SlowLog != nil
 	var label string
 	if opts.Tracer != nil || measure {
-		label = queryLabel(opts, k)
+		label = QueryLabel(opts, k)
 	}
 	if opts.Tracer != nil {
-		j.span = obs.StartSpan(opts.Tracer, label)
+		j.span = obs.StartSpanFrom(opts.Tracer, opts.Trace, label)
 	}
 	var started time.Time
 	if measure {
@@ -126,9 +126,10 @@ func KClosestPairsContext(ctx context.Context, ta, tb *rtree.Tree, k int, opts O
 	return pairs, stats, nil
 }
 
-// queryLabel renders the query description used as the span label and the
-// metrics/slow-log aggregation key.
-func queryLabel(opts Options, k int) string {
+// QueryLabel renders the query description used as the span label and the
+// metrics/slow-log aggregation key. Exported so the facade's explain path
+// labels its plan exactly like the engine labels its span.
+func QueryLabel(opts Options, k int) string {
 	if w := opts.workers(); w > 1 {
 		return fmt.Sprintf("%s k=%d par=%d", opts.Algorithm, k, w)
 	}

@@ -305,6 +305,13 @@ type Options struct {
 	// cooperating join prunes all the others. nil — the default — keeps
 	// the query self-contained and byte-identical to earlier PRs.
 	SharedBound *SharedBound
+	// Trace is the parent trace context for this query's span. The zero
+	// value — the default — opens a fresh root trace, so standalone queries
+	// behave exactly as before; the shard executor sets it to its own query
+	// span's context (propagated through Transport.Join) so per-shard join
+	// spans correlate with the gather-side span even across a process
+	// boundary. Ignored when Tracer is nil.
+	Trace obs.TraceContext
 	// Parallelism is the number of worker goroutines for the HEAP
 	// algorithm. 0 and 1 run the paper's sequential algorithm (the zero
 	// value keeps every existing call byte-identical, including disk

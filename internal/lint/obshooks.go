@@ -34,13 +34,15 @@ type ObsHooks struct {
 }
 
 // NewObsHooks returns the check configured for the engine's hot-path
-// packages and the obs package's emitting methods: Tracer.Event,
-// Span.Emit/End, and the metric mutators Counter.Inc/Add, Gauge.Set/Add,
-// Histogram.Observe. Aggregating consumers (EngineMetrics.Record,
-// SlowQueryLog.Record) are nil-safe by contract and not flagged.
+// packages and the obs layer's emitting methods: Tracer.Event (the
+// explain.Capture implementation included), Span.Emit/End, and the metric
+// mutators Counter.Inc/Add, Gauge.Set/Add, Histogram.Observe. Aggregating
+// consumers (EngineMetrics.Record, SlowQueryLog.Record) and the explain
+// capture's structured mutators (Phase, AddShardPair, SetShards, ...) are
+// nil-safe by contract and not flagged.
 func NewObsHooks() *ObsHooks {
 	return &ObsHooks{
-		Scopes: []string{"internal/core", "internal/rtree", "internal/storage"},
+		Scopes: []string{"internal/core", "internal/rtree", "internal/storage", "internal/shard"},
 		Methods: map[string]bool{
 			"Event":   true,
 			"Emit":    true,
@@ -82,8 +84,7 @@ func (c *ObsHooks) Run(prog *Program) []Diagnostic {
 						return true
 					}
 					fn := staticCallee(info, call)
-					if fn == nil || fn.Pkg() == nil ||
-						!strings.HasSuffix(fn.Pkg().Path(), "internal/obs") {
+					if fn == nil || fn.Pkg() == nil || !obsPackage(fn.Pkg().Path()) {
 						return true
 					}
 					recv := chainString(sel.X)
@@ -111,6 +112,14 @@ func (c *ObsHooks) Run(prog *Program) []Diagnostic {
 		}
 	}
 	return diags
+}
+
+// obsPackage reports whether path is the observability layer: the obs
+// package itself or one of its sub-packages (internal/obs/explain), whose
+// Tracer implementations follow the same emission discipline.
+func obsPackage(path string) bool {
+	return strings.HasSuffix(path, "internal/obs") ||
+		strings.Contains(path, "internal/obs/")
 }
 
 // leadingNilGuard returns the guarded chain when fd's body begins with

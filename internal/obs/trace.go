@@ -79,6 +79,12 @@ const (
 	// pair as shardA*tiles + shardB, New the broadcast bound at dispatch,
 	// Worker the executor worker id.
 	EvShardJoin
+
+	// evKindCount counts the declared event kinds. Keep it the last
+	// member of this block: the exhaustiveness test iterates [0,
+	// evKindCount) and fails the build of any PR that adds a kind without
+	// a String name and a JSONL encoding.
+	evKindCount
 )
 
 // String implements fmt.Stringer with stable lowercase names (the JSONL
@@ -166,6 +172,12 @@ type Event struct {
 	Kind EventKind
 	// Span is the owning query span's id, 0 for tree/pool-level events.
 	Span uint64
+	// Trace is the distributed trace id the owning span belongs to (the
+	// root span's id), 0 for spanless events. Parent is the id of the
+	// span this one was started from (StartSpanFrom), 0 for root spans.
+	// Together they let a collector rebuild the span tree of a sharded
+	// query even when shard joins ran on other nodes.
+	Trace, Parent uint64
 	// Seq is the event's sequence number within its span (1-based), 0
 	// for spanless events.
 	Seq uint64
@@ -200,25 +212,67 @@ type Tracer interface {
 // spanIDs issues process-unique span ids.
 var spanIDs atomic.Uint64
 
+// TraceContext identifies one span's position in a distributed trace: the
+// trace id shared by every span of the query and the span's own id. It is
+// the value that crosses process boundaries — the shard executor hands its
+// query span's context through Transport.Join so remote joins start child
+// spans under the same trace id (three uint64s on a wire, no pointers).
+// The zero value means "no parent": StartSpanFrom then opens a fresh root
+// trace, so code that never propagates context behaves exactly as before.
+type TraceContext struct {
+	// TraceID is the id shared by every span of one query (the root
+	// span's id); 0 when no trace is active.
+	TraceID uint64
+	// SpanID is the id of the span this context describes; a span started
+	// from the context records it as its parent.
+	SpanID uint64
+}
+
 // Span stamps one query's events with a shared id, a sequence number and
 // a relative timestamp. A nil *Span is the disabled tracer: every method
 // is a cheap no-op, so call sites guard on nil once and pay nothing more.
 type Span struct {
-	id    uint64
-	tr    Tracer
-	start time.Time
-	seq   atomic.Uint64
+	id     uint64
+	trace  uint64
+	parent uint64
+	tr     Tracer
+	start  time.Time
+	seq    atomic.Uint64
 }
 
-// StartSpan opens a span on tr and emits EvQueryStart with the given
+// StartSpan opens a root span on tr and emits EvQueryStart with the given
 // label. A nil tr returns a nil span, on which every method no-ops.
 func StartSpan(tr Tracer, label string) *Span {
+	return StartSpanFrom(tr, TraceContext{}, label)
+}
+
+// StartSpanFrom opens a span under the given parent context: the new span
+// inherits the parent's trace id and records the parent's span id, so a
+// collector can rebuild the tree from the EvQueryStart events alone. A
+// zero parent opens a fresh root trace (the span's own id becomes the
+// trace id), which makes StartSpanFrom(tr, TraceContext{}, l) identical
+// to StartSpan(tr, l). A nil tr returns a nil span.
+func StartSpanFrom(tr Tracer, parent TraceContext, label string) *Span {
 	if tr == nil {
 		return nil
 	}
-	s := &Span{id: spanIDs.Add(1), tr: tr, start: time.Now()}
+	s := &Span{id: spanIDs.Add(1), parent: parent.SpanID, tr: tr, start: time.Now()}
+	s.trace = parent.TraceID
+	if s.trace == 0 {
+		s.trace = s.id
+	}
 	s.Emit(Event{Kind: EvQueryStart, Label: label})
 	return s
+}
+
+// Context returns the span's trace context, the value to propagate to
+// child spans (possibly across a process boundary). Nil-safe: a nil span
+// returns the zero context, under which children open fresh root traces.
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.trace, SpanID: s.id}
 }
 
 // Enabled reports whether events reach a tracer.
@@ -231,6 +285,8 @@ func (s *Span) Emit(e Event) {
 		return
 	}
 	e.Span = s.id
+	e.Trace = s.trace
+	e.Parent = s.parent
 	e.Seq = s.seq.Add(1)
 	e.Nanos = time.Since(s.start).Nanoseconds()
 	s.tr.Event(e)

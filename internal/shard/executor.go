@@ -6,10 +6,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/obs/explain"
 	"repro/internal/rtree"
 	"repro/internal/storage"
 )
@@ -27,6 +29,13 @@ type Executor struct {
 	// Workers bounds concurrent shard-pair joins; 0 means GOMAXPROCS.
 	// The count is additionally capped by the planned pair count.
 	Workers int
+	// Capture, when non-nil, receives the execution's EXPLAIN/ANALYZE
+	// rows: phase timings, one row per planned shard pair (joined or
+	// pruned, with MINMINDIST vs. the bound at decision time), per-shard
+	// work attribution, and remote span forests returned by wire
+	// transports. nil — the default — skips all capture work; every
+	// capture point costs one pointer comparison.
+	Capture *explain.Capture
 }
 
 // ShardReport is one shard's row in the execution report.
@@ -120,6 +129,10 @@ func (e *Executor) Run(k int, opts core.Options) (Result, error) {
 // of the product, so a pair whose MINMINDIST exceeds the bound cannot
 // contribute to the global top K and is skipped whole — the tile-level
 // analogue of the engine's node-pair pruning.
+//
+// The executor's span opens as a child of opts.Trace, and its own
+// context travels to every shard join through Transport.Join, so the
+// joins' spans — local or remote — correlate under one trace id.
 func (e *Executor) RunContext(ctx context.Context, k int, opts core.Options) (Result, error) {
 	if e.Set == nil || len(e.Set.shards) == 0 {
 		return Result{}, fmt.Errorf("shard: executor has no shard set")
@@ -130,6 +143,11 @@ func (e *Executor) RunContext(ctx context.Context, k int, opts core.Options) (Re
 	shards := e.Set.shards
 	tiles := len(shards)
 	metric := opts.Metric
+	capOn := e.Capture.Enabled()
+	var tDispatch time.Time
+	if capOn {
+		tDispatch = time.Now()
+	}
 
 	rows := make([]ShardReport, tiles)
 	var plan []planPair
@@ -168,8 +186,11 @@ func (e *Executor) RunContext(ctx context.Context, k int, opts core.Options) (Re
 	if tr == nil {
 		tr = InProc{}
 	}
-	span := startExecSpan(opts.Tracer, tiles, k, tr)
+	span := startExecSpan(opts.Tracer, opts.Trace, tiles, k, tr)
 	traceShardPlan(span, len(plan))
+	// tc is the context every shard join starts its span under — through
+	// the transport, possibly across a process boundary.
+	tc := span.Context()
 
 	br := NewBoundBroadcaster()
 	jopts := opts
@@ -193,19 +214,29 @@ func (e *Executor) RunContext(ctx context.Context, k int, opts core.Options) (Re
 	if workers > len(plan) {
 		workers = len(plan)
 	}
+	var tJoin time.Time
+	if capOn {
+		tJoin = time.Now()
+		e.Capture.Phase("dispatch", tJoin.Sub(tDispatch).Nanoseconds())
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int32) {
 			defer wg.Done()
-			e.work(ctx, worker, st, plan, tr, br, jopts, k, span)
+			e.work(ctx, worker, st, plan, tr, br, jopts, k, span, tc)
 		}(int32(w))
 	}
 	wg.Wait()
 
 	if st.err != nil {
-		span.End(br.Load(), 0, st.err.Error())
+		traceExecEnd(span, br.Load(), 0, st.err.Error())
 		return Result{}, st.err
+	}
+	var tMerge time.Time
+	if capOn {
+		tMerge = time.Now()
+		e.Capture.Phase("join", tMerge.Sub(tJoin).Nanoseconds())
 	}
 
 	res := Result{
@@ -227,22 +258,72 @@ func (e *Executor) RunContext(ctx context.Context, k int, opts core.Options) (Re
 		part.NodeCacheHits, part.NodeCacheMisses = 0, 0
 		res.Stats.Merge(part)
 	}
+	shardDiffs := make([]core.Stats, tiles)
 	for i, sh := range shards {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		res.Stats.Merge(diffShard(sh, snaps[i]))
+		shardDiffs[i] = diffShard(sh, snaps[i])
+		res.Stats.Merge(shardDiffs[i])
 	}
 	res.Pairs = core.MergeTopK(metric, k, st.results...)
-	span.End(br.Load(), len(res.Pairs), "")
+	traceExecEnd(span, br.Load(), len(res.Pairs), "")
+
+	// Per-shard attribution: one row per shard feeds both the labeled
+	// metrics registry and the explain snapshot. Runs once per query on
+	// the gather goroutine, after the workers joined.
+	recordShards(e.Capture, opts.Metrics, st.rows, shardDiffs)
+	if capOn {
+		e.Capture.Phase("merge", time.Since(tMerge).Nanoseconds())
+		kth := 0.0
+		if len(res.Pairs) > 0 {
+			kth = res.Pairs[len(res.Pairs)-1].Dist
+		}
+		e.Capture.SetResult(time.Since(tDispatch).Nanoseconds(), res.Stats.ExplainStats(), len(res.Pairs), kth)
+	}
 	return res, nil
+}
+
+// recordShards folds the executor's per-shard rows into metric records
+// (cpq_shard_* series labeled by shard id) and the explain snapshot.
+// Nil-safe on both sinks.
+func recordShards(ec *explain.Capture, em *obs.EngineMetrics, rows []ShardReport, diffs []core.Stats) {
+	if ec == nil && em == nil {
+		return
+	}
+	recs := make([]obs.ShardRecord, len(rows))
+	stats := make([]explain.ShardStat, len(rows))
+	for i, r := range rows {
+		joined := int64(r.PlannedPairs - r.PrunedPairs)
+		recs[i] = obs.ShardRecord{
+			Shard:       i,
+			Planned:     int64(r.PlannedPairs),
+			Pruned:      int64(r.PrunedPairs),
+			Joined:      joined,
+			Accesses:    diffs[i].Accesses(),
+			CacheHits:   diffs[i].NodeCacheHits,
+			CacheMisses: diffs[i].NodeCacheMisses,
+		}
+		stats[i] = explain.ShardStat{
+			Shard:       i,
+			Planned:     int64(r.PlannedPairs),
+			Pruned:      int64(r.PrunedPairs),
+			Joined:      joined,
+			Accesses:    diffs[i].Accesses(),
+			CacheHits:   diffs[i].NodeCacheHits,
+			CacheMisses: diffs[i].NodeCacheMisses,
+		}
+	}
+	em.RecordShards(recs)
+	ec.SetShards(stats)
 }
 
 // work is one executor worker: claim the next planned pair, re-check it
 // against the broadcast bound, and run it through the transport.
-func (e *Executor) work(ctx context.Context, worker int32, st *runState, plan []planPair, tr Transport, br *BoundBroadcaster, jopts core.Options, k int, span *obs.Span) {
+func (e *Executor) work(ctx context.Context, worker int32, st *runState, plan []planPair, tr Transport, br *BoundBroadcaster, jopts core.Options, k int, span *obs.Span, tc obs.TraceContext) {
 	shards := e.Set.shards
 	tiles := len(shards)
+	capOn := e.Capture.Enabled()
 	for {
 		if err := ctx.Err(); err != nil {
 			st.fail(err)
@@ -261,6 +342,10 @@ func (e *Executor) work(ctx context.Context, worker int32, st *runState, plan []
 		bound := br.Load()
 		if p.minmin > bound {
 			traceShardPruned(span, p.a, p.b, tiles, p.minmin)
+			e.Capture.AddShardPair(explain.ShardPair{
+				A: p.a, B: p.b, Status: explain.StatusPruned,
+				MinMinDist: explain.Key(p.minmin), Bound: explain.Key(bound),
+			})
 			st.mu.Lock()
 			st.pruned++
 			st.rows[p.a].PrunedPairs++
@@ -272,16 +357,33 @@ func (e *Executor) work(ctx context.Context, worker int32, st *runState, plan []
 		}
 
 		traceShardJoin(span, p.a, p.b, tiles, bound, worker)
-		pairs, stats, err := tr.Join(ctx, shards[p.a].A, shards[p.b].B, k, jopts)
+		var tJoin time.Time
+		if capOn {
+			tJoin = time.Now()
+		}
+		jr, err := tr.Join(ctx, tc, shards[p.a].A, shards[p.b].B, k, jopts)
 		if err != nil {
 			st.fail(err)
 			return
 		}
+		if capOn {
+			e.Capture.AddShardPair(explain.ShardPair{
+				A: p.a, B: p.b, Status: explain.StatusJoined,
+				MinMinDist: explain.Key(p.minmin), Bound: explain.Key(bound),
+				Worker:     int(worker),
+				DurationNS: time.Since(tJoin).Nanoseconds(),
+				Results:    len(jr.Pairs),
+				Accesses:   jr.Stats.Accesses(),
+				NodePairs:  jr.Stats.NodePairsProcessed,
+				PointPairs: jr.Stats.PointPairsCompared,
+			})
+			e.Capture.MergeSpans(jr.Spans)
+		}
 		sample := jopts.Metric.KeyToDist(br.Load())
 
 		st.mu.Lock()
-		st.results[idx] = pairs
-		st.statsParts[idx] = stats
+		st.results[idx] = jr.Pairs
+		st.statsParts[idx] = jr.Stats
 		st.rows[p.a].BoundTrajectory = append(st.rows[p.a].BoundTrajectory, sample)
 		if p.b != p.a {
 			st.rows[p.b].BoundTrajectory = append(st.rows[p.b].BoundTrajectory, sample)

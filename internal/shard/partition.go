@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/rtree"
@@ -45,6 +46,13 @@ func PartitionContext(ctx context.Context, itemsA, itemsB []rtree.Item, cfg Conf
 		return nil, err
 	}
 
+	// Phase timestamps are taken only when an explain capture is
+	// attached, so the default path does no clock reads.
+	var tPartition time.Time
+	if cfg.Capture.Enabled() {
+		tPartition = time.Now()
+	}
+
 	bucketsA, bucketsB := bucketize(itemsA, itemsB, cfg.Tiles)
 
 	// Phase 1 (parallel, CPU only): STR-sort every tile's items. One
@@ -60,6 +68,12 @@ func PartitionContext(ctx context.Context, itemsA, itemsB []rtree.Item, cfg Conf
 		}(bucketsA[i], bucketsB[i])
 	}
 	wg.Wait()
+
+	var tBuild time.Time
+	if cfg.Capture.Enabled() {
+		tBuild = time.Now()
+		cfg.Capture.Phase("partition", tBuild.Sub(tPartition).Nanoseconds())
+	}
 
 	// Phase 2 (sequential, page writes): build each shard's tree pair.
 	set := &Set{cfg: cfg}
@@ -85,6 +99,9 @@ func PartitionContext(ctx context.Context, itemsA, itemsB []rtree.Item, cfg Conf
 		}
 		sh.Tile = sh.boundsA.Union(sh.boundsB)
 		set.shards = append(set.shards, sh)
+	}
+	if cfg.Capture.Enabled() {
+		cfg.Capture.Phase("build", time.Since(tBuild).Nanoseconds())
 	}
 	return set, nil
 }

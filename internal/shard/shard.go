@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/obs/explain"
 	"repro/internal/rtree"
 	"repro/internal/storage"
 )
@@ -46,6 +47,10 @@ type Config struct {
 	NodeCache int
 	// Fill is the STR bulk-load fill factor in (0, 1]; 0 means 0.7.
 	Fill float64
+	// Capture, when non-nil, receives the partitioner's phase timings
+	// (partition, build) for EXPLAIN output. nil — the default — skips
+	// all timing work.
+	Capture *explain.Capture
 }
 
 func (c *Config) fillDefaults() {
@@ -113,6 +118,24 @@ func (s *Set) Tiles() int { return len(s.shards) }
 
 // Config returns the configuration the set was built with.
 func (s *Set) Config() Config { return s.cfg }
+
+// TileBounds renders the shards' tile MBRs in the explain snapshot's
+// form: one entry per shard, empty tiles flagged (their ±Inf sentinel
+// rectangle cannot travel as JSON).
+func (s *Set) TileBounds() []explain.Tile {
+	out := make([]explain.Tile, len(s.shards))
+	for i, sh := range s.shards {
+		t := explain.Tile{Index: i}
+		if sh.Tile.IsEmpty() {
+			t.Empty = true
+		} else {
+			t.MinX, t.MinY = sh.Tile.Min.X, sh.Tile.Min.Y
+			t.MaxX, t.MaxY = sh.Tile.Max.X, sh.Tile.Max.Y
+		}
+		out[i] = t
+	}
+	return out
+}
 
 // Close releases every shard's page files. The set is unusable
 // afterwards.

@@ -4,16 +4,41 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/explain"
 	"repro/internal/rtree"
 )
 
+// JoinResult is one shard-pair join's answer.
+type JoinResult struct {
+	// Pairs is the join's top K, ascending.
+	Pairs []core.Pair
+	// Stats is the engine's per-join counters.
+	Stats core.Stats
+	// Spans is the span forest captured on the remote side, nil for
+	// in-process transports (their events reach the gather-side tracer
+	// directly). The executor grafts it into the query's explain capture
+	// via Capture.MergeSpans, reuniting the distributed trace.
+	Spans []explain.SpanNode
+}
+
 // Transport runs one shard-pair K-CPQ join. It is the executor's RPC
 // seam: InProc calls the engine directly, a wire transport would ship
-// the same request (shard ids, K, options minus process-local pointers)
-// to the node owning the trees and stream the result back. The
-// broadcast bound crosses this boundary too — in process as the shared
-// pointer in opts.SharedBound, on a wire as min-messages (see
+// the same request to the node owning the trees and stream the result
+// back. The broadcast bound crosses this boundary too — in process as
+// the shared pointer in opts.SharedBound, on a wire as min-messages (see
 // BoundBroadcaster).
+//
+// Wire contract for trace propagation: tc is the gather-side query
+// span's context — two uint64s (trace id, span id) serialized with the
+// request. The remote node must set opts.Trace = tc before running the
+// join, so the join's span opens as a child of the gather-side span
+// under the same trace id, and should attach an explain.Capture as the
+// join's tracer, returning capture.Snapshot().Exec.Spans in
+// JoinResult.Spans. The gather side merges those forests under its own
+// span, so `cpqquery -explain` shows one correlated tree no matter
+// where the joins ran. A zero tc means no trace is active; the remote
+// side may skip capture entirely and return nil Spans.
 //
 // Implementations must be safe for concurrent use: the executor calls
 // Join from several worker goroutines at once, possibly with the same
@@ -21,19 +46,23 @@ import (
 // lock-protected for exactly this).
 type Transport interface {
 	// Join answers the K closest pairs of a×b under opts, with the
-	// engine's per-join statistics.
-	Join(ctx context.Context, a, b *rtree.Tree, k int, opts core.Options) ([]core.Pair, core.Stats, error)
+	// engine's per-join statistics and any remotely captured spans.
+	Join(ctx context.Context, tc obs.TraceContext, a, b *rtree.Tree, k int, opts core.Options) (JoinResult, error)
 	// String names the transport for reports ("inproc", "grpc", ...).
 	String() string
 }
 
 // InProc is the in-process Transport: it runs the join on the calling
-// goroutine via core.KClosestPairsContext.
+// goroutine via core.KClosestPairsContext. The trace context is passed
+// in process through opts.Trace, and Spans stays nil — the join's
+// events reach the gather-side tracer directly.
 type InProc struct{}
 
 // Join implements Transport.
-func (InProc) Join(ctx context.Context, a, b *rtree.Tree, k int, opts core.Options) ([]core.Pair, core.Stats, error) {
-	return core.KClosestPairsContext(ctx, a, b, k, opts)
+func (InProc) Join(ctx context.Context, tc obs.TraceContext, a, b *rtree.Tree, k int, opts core.Options) (JoinResult, error) {
+	opts.Trace = tc
+	pairs, stats, err := core.KClosestPairsContext(ctx, a, b, k, opts)
+	return JoinResult{Pairs: pairs, Stats: stats}, err
 }
 
 // String implements Transport.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/incremental"
+	"repro/internal/obs/explain"
 	"repro/internal/rtree"
 	"repro/internal/shard"
 	"repro/internal/sortx"
@@ -133,6 +134,7 @@ type queryConfig struct {
 	core      core.Options
 	shards    int
 	transport shard.Transport
+	capture   *explain.Capture
 }
 
 // QueryOption tunes a closest-pair query.
@@ -285,13 +287,24 @@ func shardedKClosestPairs(ctx context.Context, p, q *Index, k int, cfg queryConf
 		return nil, Stats{}, err
 	}
 	set, err := shard.PartitionContext(ctx, itemsP, itemsQ, shard.Config{
-		Tiles: cfg.shards,
-		Tree:  p.tree.Config(),
+		Tiles:   cfg.shards,
+		Tree:    p.tree.Config(),
+		Capture: cfg.capture,
 	})
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	ex := shard.Executor{Set: set, Transport: cfg.transport}
+	tr := cfg.transport
+	if tr == nil {
+		tr = shard.InProc{}
+	}
+	// The tile-bound collection runs only under an explain capture; the
+	// nil-capture path must not pay for it (SetPlanShards is nil-safe, but
+	// its arguments would still be built).
+	if cfg.capture != nil {
+		cfg.capture.SetPlanShards(cfg.shards, tr.String(), set.TileBounds())
+	}
+	ex := shard.Executor{Set: set, Transport: tr, Capture: cfg.capture}
 	res, err := ex.RunContext(ctx, k, cfg.core)
 	if err != nil {
 		return nil, Stats{}, errors.Join(err, set.Close())
@@ -326,6 +339,13 @@ func ClosestPair(p, q *Index, opts ...QueryOption) (Pair, Stats, error) {
 // accesses are identical to the context-free call.
 func ClosestPairContext(ctx context.Context, p, q *Index, opts ...QueryOption) (Pair, Stats, error) {
 	cfg := buildConfig(opts)
+	if cfg.capture != nil {
+		pairs, stats, err := explainKCPQ(ctx, p, q, 1, cfg)
+		if err != nil {
+			return Pair{}, stats, err
+		}
+		return pairs[0], stats, nil
+	}
 	if cfg.shards > 1 {
 		pairs, stats, err := shardedKClosestPairs(ctx, p, q, 1, cfg)
 		if err != nil {
@@ -348,6 +368,9 @@ func KClosestPairs(p, q *Index, k int, opts ...QueryOption) ([]Pair, Stats, erro
 // ClosestPairContext for the cancellation contract.
 func KClosestPairsContext(ctx context.Context, p, q *Index, k int, opts ...QueryOption) ([]Pair, Stats, error) {
 	cfg := buildConfig(opts)
+	if cfg.capture != nil {
+		return explainKCPQ(ctx, p, q, k, cfg)
+	}
 	if cfg.shards > 1 {
 		return shardedKClosestPairs(ctx, p, q, k, cfg)
 	}
